@@ -1,0 +1,67 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every ``bench_*`` module reproduces one table or figure of the paper: it
+computes the series, renders a text table, writes it to
+``benchmarks/results/<name>.txt`` (so EXPERIMENTS.md can reference a
+stable artifact), and prints it for ``pytest -s`` runs.  The
+pytest-benchmark fixture times a representative kernel of each
+experiment so ``pytest benchmarks/ --benchmark-only`` also yields
+throughput numbers.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Sequence
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(name: str, lines: Iterable[str]) -> str:
+    """Write an experiment's table to results/<name>.txt and return it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = "\n".join(lines) + "\n"
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+    print(f"\n=== {name} ===")
+    print(text)
+    return text
+
+
+def table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> List[str]:
+    """Render an aligned text table."""
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells):
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+    lines = [fmt(list(headers)), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in materialized)
+    return lines
+
+
+def scaled_volumes(result, factor: float):
+    """Scale a RunResult's phase volumes to paper-scale row counts.
+
+    The simulator runs at laptop scale; completion-time *models* need the
+    paper's volumes.  Pruning rates are taken from the simulated run (a
+    conservative choice: DISTINCT/TOP N rates improve with scale, Fig. 11).
+    """
+    from repro.engine.cluster import PhaseVolume, RunResult
+
+    return RunResult(
+        query=result.query,
+        output=None,
+        phases=[
+            PhaseVolume(
+                p.name,
+                streamed=int(p.streamed * factor),
+                forwarded=int(p.forwarded * factor),
+            )
+            for p in result.phases
+        ],
+        used_cheetah=result.used_cheetah,
+        workers=result.workers,
+        op_kind=result.op_kind,
+    )

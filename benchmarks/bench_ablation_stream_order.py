@@ -1,0 +1,121 @@
+"""Stream-order sensitivity ablations (the paper's footnotes 8/9).
+
+The paper permutes nearly sorted columns before filtering/SKYLINE
+queries and concedes TOP N's adversarial case ("if the input stream is
+monotonically increasing, the switch must pass all entries").  This
+bench quantifies both: pruning rates for random, nearly-sorted-ascending,
+nearly-sorted-descending, and strictly ascending orders, for TOP N and
+SKYLINE — correctness holds in every order, only the rate moves.
+
+A second test sweeps SKYLINE dimensionality: more dimensions mean larger
+skylines and weaker domination, so pruning and the Table 2 footprint both
+degrade — the reason the paper evaluates D = 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.skyline import SkylinePruner, master_skyline
+from repro.core.topn import TopNRandomizedPruner, master_topn
+from repro.switch.compiler import footprint_skyline
+from repro.workloads.synthetic import uniform_points
+
+from _harness import emit, table
+
+
+def _orders(values):
+    rng = np.random.default_rng(7)
+    ascending = np.sort(values)
+    nearly_asc = ascending + rng.integers(-3, 4, size=len(values))
+    return {
+        "random": list(values),
+        "nearly sorted asc": nearly_asc.tolist(),
+        "descending": ascending[::-1].tolist(),
+        "strictly ascending": ascending.tolist(),
+    }
+
+
+def test_ablation_topn_stream_order(benchmark):
+    rng = np.random.default_rng(3)
+    values = rng.integers(1, 1_000_000, size=30_000)
+    rows = []
+    rates = {}
+    for name, stream in _orders(values).items():
+        stream = [float(v) for v in stream]
+        pruner = TopNRandomizedPruner(n=100, rows=256, delta=1e-3, seed=1)
+        survivors = pruner.survivors(stream)
+        rates[name] = pruner.stats.pruning_rate
+        exact = sorted(master_topn(survivors, 100)) == sorted(
+            master_topn(stream, 100)
+        )
+        rows.append((name, f"{rates[name]:.2%}", "exact" if exact else "WRONG"))
+        assert exact, name
+    emit("ablation_topn_order", table(["stream order", "pruned", "output"], rows))
+
+    # The paper's worst case: ascending defeats pruning entirely...
+    assert rates["strictly ascending"] == 0.0
+    # ...while descending is the best case and random sits between.
+    assert rates["descending"] > rates["random"] > rates["strictly ascending"]
+    benchmark(
+        lambda: TopNRandomizedPruner(n=100, rows=256, seed=2).survivors(
+            [float(v) for v in values[:5000]]
+        )
+    )
+
+
+def test_ablation_skyline_stream_order(benchmark):
+    rng = np.random.default_rng(5)
+    base = uniform_points(20_000, dims=2, seed=5)
+    orders = {
+        "random": base,
+        # Sorted by the sum score ascending: every arrival looks good,
+        # mirroring the nearly sorted pageRank the paper permutes away.
+        "ascending by score": sorted(base, key=lambda p: p[0] + p[1]),
+        "descending by score": sorted(base, key=lambda p: -(p[0] + p[1])),
+    }
+    rows = []
+    rates = {}
+    for name, points in orders.items():
+        pruner = SkylinePruner(dims=2, points=8, score="sum")
+        received = []
+        for point in points:
+            if pruner.process(point).value == "forward":
+                received.append(pruner.last_carried)
+        received.extend(pruner.drain())
+        rates[name] = pruner.stats.pruning_rate
+        exact = set(master_skyline(received)) == set(master_skyline(points))
+        rows.append((name, f"{rates[name]:.2%}", "exact" if exact else "WRONG"))
+        assert exact, name
+    emit("ablation_skyline_order", table(["stream order", "pruned", "output"], rows))
+    assert rates["descending by score"] >= rates["random"] >= rates["ascending by score"]
+    benchmark(lambda: [SkylinePruner(dims=2, points=8).process(p) for p in base[:3000]])
+
+
+def test_ablation_skyline_dimensionality(benchmark):
+    rows = []
+    rates = {}
+    for dims in (2, 3, 4):
+        points = uniform_points(15_000, dims=dims, seed=11)
+        pruner = SkylinePruner(dims=dims, points=10, score="sum")
+        for point in points:
+            pruner.process(point)
+        rates[dims] = pruner.stats.pruning_rate
+        fp = footprint_skyline(dims=dims, points=10, score="sum")
+        skyline_size = len(master_skyline(points))
+        rows.append(
+            (
+                dims,
+                skyline_size,
+                f"{rates[dims]:.2%}",
+                fp.stages,
+                fp.alus,
+            )
+        )
+    emit(
+        "ablation_skyline_dims",
+        table(["dims", "true skyline", "pruned", "stages", "ALUs"], rows),
+    )
+    # Higher dimensionality: larger skylines, weaker pruning, more ALUs.
+    assert rates[2] > rates[3] > rates[4]
+    benchmark(lambda: footprint_skyline(dims=4, points=10))

@@ -1,0 +1,163 @@
+"""Figure 11: pruning rate vs input size, one test per subplot.
+
+Each data point processes a prefix of the same stream, exactly the
+paper's methodology ("each data point refers to the first entries in the
+relevant data set").  Expected directions (paper §8.3):
+
+* DISTINCT, GROUP BY — improve with scale: the first occurrence of each
+  key cannot be pruned, but once cached the structure prunes onward.
+* SKYLINE, TOP N — improve with scale: the output is a shrinking
+  fraction of the input.
+* JOIN — degrades with scale: Bloom-filter false positives accumulate.
+* HAVING — degrades with scale: the output is empty on small prefixes
+  and Count-Min false positives grow with the data.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.base import PruneDecision
+from repro.core.distinct import DistinctPruner
+from repro.core.groupby import GroupByPruner
+from repro.core.having import HavingPruner
+from repro.core.join import JoinPruner
+from repro.core.skyline import SkylinePruner
+from repro.core.topn import TopNRandomizedPruner
+from repro.workloads.synthetic import (
+    keyed_values,
+    overlapping_key_sets,
+    prefixes,
+    random_order_stream,
+    revenue_stream,
+    uniform_points,
+)
+
+from _harness import emit, table
+
+FRACTIONS = (0.1, 0.25, 0.5, 1.0)
+
+
+def _sweep(name, stream, make_pruner):
+    rows = []
+    rates = []
+    for prefix in prefixes(stream, FRACTIONS):
+        pruner = make_pruner()
+        pruner.survivors(prefix)
+        rates.append(pruner.stats.pruning_rate)
+        rows.append((len(prefix), f"{rates[-1]:.4%}", f"{1 - rates[-1]:.2e}"))
+    emit(name, table(["entries", "pruned", "unpruned frac"], rows))
+    return rates
+
+
+def test_fig11a_distinct_improves(benchmark):
+    stream = random_order_stream(200_000, 500, seed=11)
+    rates = _sweep(
+        "fig11a_distinct", stream, lambda: DistinctPruner(rows=4096, cols=2)
+    )
+    assert rates == sorted(rates)
+    benchmark(lambda: DistinctPruner(rows=512, cols=2).survivors(stream[:20_000]))
+
+
+def test_fig11b_skyline_improves(benchmark):
+    points = uniform_points(100_000, dims=2, seed=12)
+    rates = _sweep(
+        "fig11b_skyline", points, lambda: SkylinePruner(dims=2, points=7, score="aph")
+    )
+    assert rates == sorted(rates)
+    benchmark(
+        lambda: [SkylinePruner(dims=2, points=7).process(p) for p in points[:5000]]
+    )
+
+
+def test_fig11c_topn_improves(benchmark):
+    stream = revenue_stream(200_000, seed=13)
+    rates = _sweep(
+        "fig11c_topn",
+        stream,
+        lambda: TopNRandomizedPruner(n=250, rows=600, delta=1e-4, seed=13),
+    )
+    assert rates == sorted(rates)
+    benchmark(
+        lambda: TopNRandomizedPruner(n=250, rows=600, seed=1).survivors(
+            stream[:20_000]
+        )
+    )
+
+
+def test_fig11d_groupby_improves(benchmark):
+    stream = keyed_values(200_000, 200, seed=14)
+    rates = _sweep(
+        "fig11d_groupby", stream, lambda: GroupByPruner(rows=4096, cols=8)
+    )
+    assert rates == sorted(rates)
+    benchmark(lambda: GroupByPruner(rows=512, cols=4).survivors(stream[:20_000]))
+
+
+def test_fig11e_join_degrades(benchmark):
+    left, right = overlapping_key_sets(150_000, 150_000, overlap=0.1, seed=15)
+    rows = []
+    rates = []
+    for fraction in FRACTIONS:
+        size = int(len(left) * fraction)
+        l, r = left[:size], right[:size]
+        pruner = JoinPruner("L", "R", memory_bits=1 << 17, seed=15)
+        pruner.build(l, r)
+        survived = sum(
+            1
+            for side, keys in (("L", l), ("R", r))
+            for k in keys
+            if pruner.process((side, k)) is PruneDecision.FORWARD
+        )
+        rates.append(1 - survived / (2 * size))
+        rows.append((2 * size, f"{rates[-1]:.4%}", f"{1 - rates[-1]:.2e}"))
+    emit("fig11e_join", table(["entries", "pruned", "unpruned frac"], rows))
+    # More data -> more false positives -> lower pruning.
+    assert rates == sorted(rates, reverse=True)
+    benchmark(
+        lambda: JoinPruner("L", "R", memory_bits=1 << 16).build(
+            left[:5000], right[:5000]
+        )
+    )
+
+
+def test_fig11f_having_degrades_after_onset(benchmark):
+    # SUM(adRevenue) > threshold per language: the paper's query has an
+    # *empty* output when the data is too small, so the smallest prefix
+    # prunes perfectly; as data grows, keys cross the threshold and the
+    # candidate set (true keys + Count-Min false positives) appears —
+    # pruning degrades from perfect, yet stays near-perfect with 512
+    # counters per row.
+    stream = [(k, float(int(v))) for k, v in keyed_values(200_000, 25, seed=16, skew=1.0)]
+    threshold = 3_000_000.0
+    rows = []
+    rates = []
+    candidates = []
+    for prefix in prefixes(stream, FRACTIONS):
+        pruner = HavingPruner(threshold=threshold, width=512, depth=3)
+        survivors = pruner.survivors(prefix)
+        rates.append(pruner.stats.pruning_rate)
+        candidates.append(len({key for key, _ in survivors}))
+        rows.append(
+            (
+                len(prefix),
+                candidates[-1],
+                f"{rates[-1]:.4%}",
+                f"{1 - rates[-1]:.2e}",
+            )
+        )
+    emit(
+        "fig11f_having",
+        table(["entries", "candidate keys", "pruned", "unpruned frac"], rows),
+    )
+    # Empty output -> perfect pruning on the smallest prefix.
+    assert rates[0] == 1.0 and candidates[0] == 0
+    # Candidates appear with scale and the rate dips below perfect...
+    assert candidates[-1] > 0
+    assert rates[-1] < 1.0
+    assert candidates == sorted(candidates)
+    # ...but 512 counters/row keep pruning near-perfect throughout.
+    assert min(rates) > 0.995
+    benchmark(
+        lambda: HavingPruner(threshold=threshold, width=512).survivors(stream[:10_000])
+    )

@@ -1,0 +1,43 @@
+"""Figures 12/13: server vs switch-CPU processing (the NetAccel overflow path).
+
+NetAccel sends entries the dataplane cannot handle to the switch CPU;
+Cheetah sends them to the master server.  The weak embedded CPU behind a
+thin dataplane-to-CPU channel loses at every scale, and the gap widens as
+the overflow share grows — the paper's argument for pruning-to-the-server
+over overflow-to-the-CPU, shown for GROUP BY (Fig. 12) and DISTINCT
+(Fig. 13).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.netaccel import NetAccelModel
+
+from _harness import emit, table
+
+SIZES = (10_000, 100_000, 1_000_000, 10_000_000)
+
+
+def test_fig12_13_switch_cpu(benchmark):
+    model = NetAccelModel()
+    rows = []
+    for entries in SIZES:
+        server = model.server_time(entries)
+        cpu = model.switch_cpu_time(entries)
+        rows.append(
+            (
+                f"{entries:,}",
+                f"{server * 1e3:.2f} ms",
+                f"{cpu * 1e3:.2f} ms",
+                f"{cpu / server:.1f}x",
+            )
+        )
+    lines = table(["overflow entries", "master server", "switch CPU", "slowdown"], rows)
+    emit("fig12_13_switch_cpu", lines)
+
+    # The switch CPU is slower at every size, by a widening absolute gap.
+    gaps = [model.switch_cpu_time(n) - model.server_time(n) for n in SIZES]
+    assert all(gap > 0 for gap in gaps)
+    assert gaps == sorted(gaps)
+    # And the server sustains millions of entries per second.
+    assert model.server_time(1_000_000) < 1.0
+    benchmark(lambda: model.switch_cpu_time(1_000_000))

@@ -1,0 +1,81 @@
+"""Figure 6: DISTINCT completion vs data scale (6a) and worker count (6b).
+
+6a fixes the total entry count ratio and sweeps entries per partition:
+the Cheetah/Spark gap should widen with scale.  6b fixes the total
+entries and sweeps the number of workers: the improvement factor should
+stay roughly stable.  Both discard Spark's first run, as the paper does.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.cluster import Cluster
+from repro.engine.cost import CostModel
+from repro.workloads import bigdata
+
+from _harness import emit, scaled_volumes, table
+
+WORKERS = 5
+
+
+def _distinct_run(visits_rows: int, workers: int, scale_factor: float):
+    scale = bigdata.BigDataScale(
+        rankings_rows=max(1000, visits_rows // 2),
+        uservisits_rows=visits_rows,
+        distinct_urls=max(400, visits_rows // 5),
+    )
+    tables = bigdata.tables(scale)
+    cluster = Cluster(workers=workers)
+    result = cluster.run_verified(bigdata.query2_distinct(), tables)
+    return scaled_volumes(result, scale_factor)
+
+
+def test_fig6a_entries_per_partition(benchmark):
+    model = CostModel(network_gbps=10)
+    rows = []
+    speedups = []
+    # Paper sweeps 0.5M-4M entries per partition at 5 workers.
+    for per_partition in (500_000, 1_000_000, 2_000_000, 4_000_000):
+        sim_rows = 40_000
+        factor = per_partition * WORKERS / sim_rows
+        result = _distinct_run(sim_rows, WORKERS, factor)
+        spark = model.spark_breakdown(result, first_run=False).total
+        cheetah = model.cheetah_breakdown(result).total
+        speedups.append(spark / cheetah)
+        rows.append(
+            (
+                f"{per_partition / 1e6:.1f}M",
+                f"{spark:.2f}s",
+                f"{cheetah:.2f}s",
+                f"{spark / cheetah:.2f}x",
+            )
+        )
+    lines = table(["entries/worker", "spark-next", "cheetah", "speedup"], rows)
+    emit("fig6a_data_scale", lines)
+    # The gap widens as the data scale grows.
+    assert speedups == sorted(speedups)
+    assert speedups[-1] > speedups[0]
+    benchmark(lambda: model.speedup(_distinct_run(10_000, WORKERS, 100.0)))
+
+
+def test_fig6b_worker_count(benchmark):
+    model = CostModel(network_gbps=10)
+    total_entries = 10_000_000
+    sim_rows = 40_000
+    rows = []
+    speedups = []
+    for workers in (2, 3, 4, 5, 6, 8):
+        result = _distinct_run(sim_rows, workers, total_entries / sim_rows)
+        spark = model.spark_breakdown(result, first_run=False).total
+        cheetah = model.cheetah_breakdown(result).total
+        speedups.append(spark / cheetah)
+        rows.append(
+            (workers, f"{spark:.2f}s", f"{cheetah:.2f}s", f"{spark / cheetah:.2f}x")
+        )
+    lines = table(["workers", "spark-next", "cheetah", "speedup"], rows)
+    emit("fig6b_worker_count", lines)
+    # Roughly stable improvement factor across worker counts.
+    assert min(speedups) > 1.0
+    assert max(speedups) / min(speedups) < 1.8
+    benchmark(lambda: model.speedup(_distinct_run(sim_rows, 4, 250.0)))

@@ -1,0 +1,58 @@
+"""Figure 7: NetAccel's drain overhead vs result size on TPC-H Q3's join.
+
+NetAccel stores join results in switch registers and must drain them to
+the master at control-plane rates; Cheetah streams survivors, so its tail
+cost stays near zero.  The result size is swept by varying Q3's date
+filter, exactly as the paper varies filter ranges.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.netaccel import NetAccelModel
+from repro.engine.cluster import Cluster
+from repro.workloads import tpch
+
+from _harness import emit, table
+
+
+def _result_sizes():
+    base = tpch.tables(tpch.TpchScale(customers=2000), seed=1)
+    cluster = Cluster(workers=2)
+    sizes = []
+    for date in (400, 800, 1200, 1600, 2000):
+        filtered = tpch.q3_filtered_tables(base, date=date)
+        result = cluster.run_verified(tpch.q3_join_query(), filtered)
+        sizes.append((date, sum(result.output.values())))
+    return sizes
+
+
+def test_fig7_netaccel_drain(benchmark):
+    model = NetAccelModel()
+    rows = []
+    overheads = []
+    for date, result_entries in _result_sizes():
+        drain = model.drain_time(result_entries)
+        cheetah = model.cheetah_total(result_entries)
+        overheads.append((result_entries, drain, cheetah))
+        rows.append(
+            (
+                date,
+                result_entries,
+                f"{drain * 1e3:.2f} ms",
+                f"{cheetah * 1e3:.2f} ms",
+                f"{drain / max(cheetah, 1e-9):.0f}x",
+            )
+        )
+    lines = table(
+        ["date cutoff", "result entries", "netaccel drain", "cheetah tail", "overhead"],
+        rows,
+    )
+    emit("fig7_netaccel_drain", lines)
+
+    # Drain latency grows with result size and always exceeds Cheetah's tail.
+    drains = [d for _, d, _ in overheads]
+    entries = [n for n, _, _ in overheads]
+    ordered = sorted(range(len(entries)), key=lambda i: entries[i])
+    assert [drains[i] for i in ordered] == sorted(drains)
+    assert all(d > c for _, d, c in overheads)
+    benchmark(lambda: model.drain_time(100_000))

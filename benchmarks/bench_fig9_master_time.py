@@ -1,0 +1,56 @@
+"""Figure 9: master completion time vs pruning rate (DISTINCT, max-GROUP BY).
+
+The master handles each arriving entry immediately when almost everything
+is pruned; at low pruning rates entries buffer up, so completion grows
+*super-linearly* in the unpruned share.  This bench sweeps the pruning
+rate and both measures the modeled curve and checks its curvature.
+"""
+
+from __future__ import annotations
+
+from repro.engine.cluster import PhaseVolume, RunResult
+from repro.engine.cost import CostModel
+
+from _harness import emit, table
+
+TOTAL = 10_000_000
+
+
+def _run_at(pruning_rate: float, op_kind: str) -> RunResult:
+    forwarded = int(TOTAL * (1.0 - pruning_rate))
+    return RunResult(
+        query=f"{op_kind}@{pruning_rate:.2f}",
+        output=None,
+        phases=[PhaseVolume("stream", streamed=TOTAL, forwarded=forwarded)],
+        used_cheetah=True,
+        workers=5,
+        op_kind=op_kind,
+    )
+
+
+def test_fig9_master_time(benchmark):
+    model = CostModel()
+    rates = (0.999, 0.99, 0.95, 0.9, 0.75, 0.5, 0.25, 0.0)
+    rows = []
+    curves = {}
+    for op_kind in ("distinct", "groupby"):
+        times = []
+        for rate in rates:
+            b = model.cheetah_breakdown(_run_at(rate, op_kind))
+            times.append(b.master)
+        curves[op_kind] = times
+        rows.extend(
+            (op_kind, f"{rate:.1%}", f"{t:.3f}s")
+            for rate, t in zip(rates, times)
+        )
+    lines = table(["operator", "pruning rate", "master time"], rows)
+    emit("fig9_master_time", lines)
+
+    for op_kind, times in curves.items():
+        # Monotone: lower pruning -> more master time.
+        assert times == sorted(times), op_kind
+        # Super-linear: halving the pruning from 50% to 0% more than
+        # doubles the master time.
+        idx50, idx0 = rates.index(0.5), rates.index(0.0)
+        assert times[idx0] > 2 * times[idx50], op_kind
+    benchmark(lambda: model.cheetah_breakdown(_run_at(0.5, "distinct")).master)

@@ -1,0 +1,34 @@
+"""Table 2: per-algorithm hardware resource consumption.
+
+Recomputes the paper's Table 2 from the compiler's closed forms at the
+paper's default parameters and verifies every row fits the Tofino-like
+resource model.  The timed kernel is the compile-and-check path.
+"""
+
+from __future__ import annotations
+
+from repro.switch.compiler import table2
+from repro.switch.resources import TOFINO
+
+from _harness import emit, table
+
+
+def _rows():
+    for fp in table2(TOFINO):
+        yield (
+            fp.label,
+            fp.stages,
+            fp.alus,
+            f"{fp.sram_bits / 8 / 1024:.1f} KB",
+            fp.tcam_entries,
+            "yes" if fp.fits(TOFINO) else "NO",
+        )
+
+
+def test_table2_resources(benchmark):
+    lines = table(
+        ["algorithm", "stages", "ALUs", "SRAM", "TCAM", "fits Tofino"], _rows()
+    )
+    emit("table2_resources", lines)
+    benchmark(lambda: [fp.fits(TOFINO) for fp in table2(TOFINO)])
+    assert all(fp.fits(TOFINO) for fp in table2(TOFINO))

@@ -1,0 +1,39 @@
+"""Table 3: throughput/latency of the hardware acceleration substrates.
+
+Prints the paper's hardware catalog and the headline ratios that motivate
+switch offloading (two orders of magnitude throughput over servers,
+sub-microsecond latency).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.hardware import TABLE3, switch_vs_server_throughput
+
+from _harness import emit, table
+
+
+def _rows():
+    for profile in TABLE3:
+        if profile.throughput_gbps_low == profile.throughput_gbps_high:
+            throughput = f"{profile.throughput_gbps_high:g} Gbps"
+        else:
+            throughput = (
+                f"{profile.throughput_gbps_low:g}-{profile.throughput_gbps_high:g} Gbps"
+            )
+        if profile.latency_us_low == profile.latency_us_high:
+            latency = f"{profile.latency_us_high:g} us"
+        elif profile.latency_us_high <= 1.0:
+            latency = f"< {profile.latency_us_high:g} us"
+        else:
+            latency = f"{profile.latency_us_low:g}-{profile.latency_us_high:g} us"
+        yield profile.name, throughput, latency
+
+
+def test_table3_hardware(benchmark):
+    lines = table(["system", "throughput", "latency"], _rows())
+    ratio = switch_vs_server_throughput()
+    lines.append("")
+    lines.append(f"Tofino V2 / server throughput ratio: {ratio:.0f}x")
+    emit("table3_hardware", lines)
+    benchmark(switch_vs_server_throughput)
+    assert ratio >= 100

@@ -1,0 +1,42 @@
+"""Table 4 (Appendix A): algorithm summary, plus the reboot-safety column.
+
+Prints the generated summary table and cross-checks every row's
+guarantee class against the live pruner classes.
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    DistinctPruner,
+    FingerprintDistinctPruner,
+    GroupByPruner,
+    Guarantee,
+    HavingPruner,
+    JoinPruner,
+    SkylinePruner,
+    TopNDeterministicPruner,
+    TopNRandomizedPruner,
+)
+from repro.core.summary import TABLE4, render_table4
+
+from _harness import emit
+
+
+def test_table4_summary(benchmark):
+    lines = render_table4()
+    emit("table4_summary", lines)
+
+    live = {
+        "DISTINCT": DistinctPruner(rows=8, cols=2),
+        "DISTINCT-FP": FingerprintDistinctPruner(rows=8, cols=2, expected_distinct=10),
+        "SKYLINE": SkylinePruner(),
+        "TOP N (det)": TopNDeterministicPruner(n=10),
+        "TOP N (rand)": TopNRandomizedPruner(n=10, rows=512),
+        "GROUP BY": GroupByPruner(rows=8, cols=2),
+        "JOIN": JoinPruner("L", "R", memory_bits=1 << 12),
+        "HAVING": HavingPruner(threshold=1.0, width=8),
+    }
+    by_name = {row.name: row for row in TABLE4}
+    for name, pruner in live.items():
+        assert by_name[name].guarantee is pruner.guarantee, name
+    benchmark(render_table4)

@@ -1,0 +1,92 @@
+"""Pruner throughput microbenchmarks (engineering table, not a paper figure).
+
+One pytest-benchmark per operator at its Table 2 default configuration,
+processing a fixed synthetic stream.  The register-level DISTINCT runs
+too, to quantify the fidelity tax of the pipeline simulator relative to
+the algorithmic model.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.distinct import DistinctPruner
+from repro.core.groupby import GroupByPruner
+from repro.core.having import HavingPruner
+from repro.core.join import JoinPruner
+from repro.core.skyline import SkylinePruner
+from repro.core.topn import TopNDeterministicPruner, TopNRandomizedPruner
+from repro.switch.pipeline import Pipeline
+from repro.switch.programs import PipelineDistinct
+from repro.switch.resources import ResourceModel
+from repro.workloads.synthetic import (
+    keyed_values,
+    random_order_stream,
+    uniform_points,
+)
+
+STREAM = random_order_stream(5000, 400, seed=1)
+KEYED = keyed_values(5000, 200, seed=2)
+POINTS = uniform_points(5000, dims=2, seed=3)
+VALUES = [random.Random(4).uniform(0, 1e6) for _ in range(5000)]
+
+
+def test_throughput_distinct(benchmark):
+    benchmark(lambda: DistinctPruner(rows=4096, cols=2).survivors(STREAM))
+
+
+def test_throughput_distinct_register_level(benchmark):
+    model = ResourceModel(
+        stages=4, alus_per_stage=4, sram_bits_per_stage=4096 * 2 * 64 + 1024,
+        tcam_entries=16, phv_bits=512,
+    )
+
+    def run():
+        program = PipelineDistinct(Pipeline(model), rows=4096, cols=2)
+        program.survivors(STREAM)
+
+    benchmark(run)
+
+
+def test_throughput_topn_deterministic(benchmark):
+    benchmark(lambda: TopNDeterministicPruner(n=250, thresholds=4).survivors(VALUES))
+
+
+def test_throughput_topn_randomized(benchmark):
+    benchmark(
+        lambda: TopNRandomizedPruner(n=250, rows=600, delta=1e-4, seed=1).survivors(
+            VALUES
+        )
+    )
+
+
+def test_throughput_groupby(benchmark):
+    benchmark(lambda: GroupByPruner(rows=4096, cols=8).survivors(KEYED))
+
+
+def test_throughput_having(benchmark):
+    stream = [(k, float(int(v))) for k, v in KEYED]
+    benchmark(lambda: HavingPruner(threshold=1000, width=1024, depth=3).survivors(stream))
+
+
+def test_throughput_skyline(benchmark):
+    def run():
+        pruner = SkylinePruner(dims=2, points=10, score="sum")
+        for point in POINTS:
+            pruner.process(point)
+
+    benchmark(run)
+
+
+def test_throughput_join_probe(benchmark):
+    keys = list(range(5000))
+    pruner = JoinPruner("L", "R", memory_bits=4 * 1024 * 1024 * 8)
+    pruner.build(keys, keys[2500:] + list(range(10_000, 12_500)))
+
+    def run():
+        for key in keys:
+            pruner.process(("L", key))
+
+    benchmark(run)

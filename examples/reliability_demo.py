@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""The §7.2 reliability protocol under packet loss.
+
+Streams a DISTINCT workload through the switch over links that drop 20%
+of packets — including switch-ACKs for pruned packets, which forces
+pruned retransmissions to slip through to the master.  Shows that the
+query result is still exact.
+
+Run:  python examples/reliability_demo.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.distinct import DistinctPruner, master_distinct
+from repro.net.reliability import ReliableTransfer, packets_for
+
+
+def main() -> None:
+    rng = random.Random(7)
+    entries = [rng.randrange(200) for _ in range(2000)]
+
+    pruner = DistinctPruner(rows=64, cols=2)
+    transfer = ReliableTransfer(pruner, loss=0.20, seed=42)
+    transfer.run(packets_for(entries))
+
+    stats = transfer.stats
+    print("reliable transfer over 20%-lossy links")
+    print(f"  entries sent        : {len(entries)}")
+    print(f"  rounds              : {stats.rounds}")
+    print(f"  transmissions       : {stats.transmissions} "
+          f"({stats.retransmissions} retransmissions)")
+    print(f"  pruned (switch ACKs): {stats.switch_acks}")
+    print(f"  delivered to master : {stats.master_received} "
+          f"({stats.duplicates_at_master} duplicate seqs discarded)")
+
+    delivered = transfer.master_unique_entries
+    pruned_slipped = len(set(delivered)) - len(set(master_distinct(delivered)))
+    got = set(master_distinct(delivered))
+    expected = set(entries)
+    print(f"  DISTINCT output     : {len(got)} values "
+          f"({'exact' if got == expected else 'WRONG'})")
+    assert got == expected, "the reliability protocol must preserve correctness"
+    print("\nEven with pruned retransmissions reaching the master, the")
+    print("completed query equals the no-loss, no-switch result.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""Analysis: OPT oracle baselines and the paper's theoretical bounds."""
+
+from ..core import sizing as theory
+from .montecarlo import FailureEstimate, estimate_failure_rate
+from .opt import (
+    opt_distinct_rate,
+    opt_distinct_unpruned,
+    opt_groupby_rate,
+    opt_groupby_unpruned,
+    opt_having_rate,
+    opt_having_unpruned,
+    opt_join_rate,
+    opt_join_unpruned,
+    opt_skyline_rate,
+    opt_skyline_unpruned,
+    opt_topn_rate,
+    opt_topn_unpruned,
+)
+
+__all__ = [
+    "theory",
+    "FailureEstimate",
+    "estimate_failure_rate",
+    "opt_distinct_rate",
+    "opt_distinct_unpruned",
+    "opt_groupby_rate",
+    "opt_groupby_unpruned",
+    "opt_having_rate",
+    "opt_having_unpruned",
+    "opt_join_rate",
+    "opt_join_unpruned",
+    "opt_skyline_rate",
+    "opt_skyline_unpruned",
+    "opt_topn_rate",
+    "opt_topn_unpruned",
+]

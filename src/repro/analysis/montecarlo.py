@@ -1,0 +1,80 @@
+"""Monte-Carlo verification of probabilistic guarantees (§5).
+
+The randomized pruners promise ``Pr[Q(A_Q(D)) != Q(D)] <= delta``.  This
+module estimates that failure probability empirically: run the same
+stream through independently seeded pruner instances, check each output
+against the exact answer, and report the rate with a Wilson confidence
+interval so benches and tests can compare against ``delta`` honestly
+(a point estimate of 0/60 says little without the interval).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..core.base import Pruner
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FailureEstimate:
+    """Result of a Monte-Carlo failure-rate run."""
+
+    trials: int
+    failures: int
+
+    @property
+    def rate(self) -> float:
+        """Point estimate of the failure probability."""
+        return self.failures / self.trials
+
+    def wilson_interval(self, z: float = 1.96) -> tuple:
+        """Wilson score interval for the failure probability."""
+        n, p = self.trials, self.rate
+        denominator = 1 + z * z / n
+        center = (p + z * z / (2 * n)) / denominator
+        margin = (
+            z * math.sqrt(p * (1 - p) / n + z * z / (4 * n * n)) / denominator
+        )
+        return (max(0.0, center - margin), min(1.0, center + margin))
+
+    def consistent_with(self, delta: float, z: float = 1.96) -> bool:
+        """True when ``delta`` is not below the interval's lower bound.
+
+        I.e. the observations do not *refute* the claimed bound — the
+        right direction for validating an upper bound on failure.
+        """
+        lower, _ = self.wilson_interval(z)
+        return delta >= lower
+
+
+def estimate_failure_rate(
+    make_pruner: Callable[[int], Pruner],
+    stream: Sequence,
+    is_correct: Callable[[Sequence], bool],
+    trials: int = 50,
+) -> FailureEstimate:
+    """Run ``trials`` independently seeded pruners and count failures.
+
+    Parameters
+    ----------
+    make_pruner:
+        Factory taking a seed and returning a fresh pruner.
+    stream:
+        The input stream (same for every trial; the randomness under test
+        is the pruner's, not the data's).
+    is_correct:
+        Predicate on the survivor list: True when the completed query
+        matches the exact answer.
+    """
+    if trials <= 0:
+        raise ConfigurationError(f"need at least one trial, got {trials}")
+    failures = 0
+    for seed in range(trials):
+        pruner = make_pruner(seed)
+        survivors = pruner.survivors(stream)
+        if not is_correct(survivors):
+            failures += 1
+    return FailureEstimate(trials=trials, failures=failures)

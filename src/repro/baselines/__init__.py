@@ -1,0 +1,12 @@
+"""Comparison baselines: NetAccel's drain/CPU model and the Table 3 catalog."""
+
+from .hardware import TABLE3, HardwareProfile, profile, switch_vs_server_throughput
+from .netaccel import NetAccelModel
+
+__all__ = [
+    "TABLE3",
+    "HardwareProfile",
+    "profile",
+    "switch_vs_server_throughput",
+    "NetAccelModel",
+]

@@ -1,0 +1,148 @@
+"""Command-line interface: run SQL through Cheetah from a shell.
+
+Usage examples::
+
+    python -m repro query "SELECT DISTINCT userAgent FROM UserVisits"
+    python -m repro query "SELECT TOP 100 duration FROM UserVisits ORDER BY adRevenue" --rows 50000
+    python -m repro table2
+    python -m repro workloads
+
+The ``query`` subcommand generates the Big Data benchmark tables at the
+requested scale, parses the SQL, executes it with switch pruning,
+verifies the output against the reference executor, and prints volumes
+plus modeled completion times.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .engine.cluster import Cluster
+from .engine.cost import CostModel
+from .engine.sql import parse
+from .errors import CheetahError
+from .switch.compiler import table2
+from .switch.resources import TOFINO
+from .workloads import bigdata
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Cheetah switch-pruning reproduction (SIGMOD 2020)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    query = sub.add_parser("query", help="run a SQL query with switch pruning")
+    query.add_argument("sql", help="the SELECT statement")
+    query.add_argument("--rows", type=int, default=40_000,
+                       help="UserVisits rows to generate (default 40000)")
+    query.add_argument("--workers", type=int, default=5,
+                       help="cluster workers (default 5)")
+    query.add_argument("--seed", type=int, default=0, help="workload seed")
+    query.add_argument("--network-gbps", type=float, default=10.0,
+                       help="NIC limit for the cost model (default 10)")
+    query.add_argument("--no-verify", action="store_true",
+                       help="skip the reference-executor check")
+    query.add_argument("--csv", action="append", default=[], metavar="NAME=PATH",
+                       help="load a table from CSV instead of generating it "
+                            "(repeatable, e.g. --csv Ratings=ratings.csv)")
+
+    explain_cmd = sub.add_parser(
+        "explain", help="show the switch/master plan for a SQL query"
+    )
+    explain_cmd.add_argument("sql", help="the SELECT statement")
+
+    sub.add_parser("table2", help="print the Table 2 resource footprints")
+    sub.add_parser("workloads", help="list the generated tables and columns")
+    return parser
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    scale = bigdata.BigDataScale(
+        rankings_rows=max(1000, args.rows // 2),
+        uservisits_rows=args.rows,
+        distinct_urls=max(400, args.rows // 5),
+    )
+    tables = bigdata.tables(scale, seed=args.seed)
+    for spec in args.csv:
+        name, _, csv_path = spec.partition("=")
+        if not name or not csv_path:
+            print(f"error: --csv expects NAME=PATH, got {spec!r}", file=sys.stderr)
+            return 1
+        from .engine.table import table_from_csv
+
+        tables[name] = table_from_csv(csv_path, name=name)
+    query = parse(args.sql)
+    if "SKYLINE" in args.sql.upper():
+        tables["Rankings"] = bigdata.permuted(tables["Rankings"], seed=args.seed)
+    cluster = Cluster(workers=args.workers)
+    if args.no_verify:
+        result = cluster.run(query, tables)
+    else:
+        result = cluster.run_verified(query, tables)
+    model = CostModel(network_gbps=args.network_gbps)
+    cheetah = model.cheetah_breakdown(result)
+    spark = model.spark_breakdown(result, first_run=False)
+    output = result.output
+    size = len(output) if hasattr(output, "__len__") else output
+    print(f"query    : {result.query}")
+    print(f"output   : {size} "
+          f"({'verified' if not args.no_verify else 'unverified'})")
+    print(f"traffic  : {result.total_streamed} streamed, "
+          f"{result.total_forwarded} forwarded "
+          f"({result.pruning_rate:.2%} pruned)")
+    print(f"modeled  : cheetah {cheetah.total:.3f}s "
+          f"(worker {cheetah.worker:.3f} / send {cheetah.network:.3f} / "
+          f"master {cheetah.master:.3f}), spark {spark.total:.3f}s "
+          f"-> {spark.total / cheetah.total:.2f}x")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from .engine.explain import explain
+
+    print(explain(parse(args.sql)))
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    print(f"{'algorithm':16s} {'stages':>6s} {'ALUs':>5s} {'SRAM':>12s} {'TCAM':>6s}")
+    for fp in table2(TOFINO):
+        print(
+            f"{fp.label:16s} {fp.stages:6d} {fp.alus:5d} "
+            f"{fp.sram_bits / 8 / 1024:10.1f} KB {fp.tcam_entries:6d}"
+        )
+    return 0
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    tables = bigdata.tables(bigdata.BigDataScale(rankings_rows=10, uservisits_rows=10))
+    for name, table in tables.items():
+        print(f"{name}: columns {', '.join(table.column_names)}")
+    print("\nqueries (Appendix B):")
+    for name, query in bigdata.benchmark_queries().items():
+        print(f"  {name}: {query.describe()}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "query": _cmd_query,
+        "explain": _cmd_explain,
+        "table2": _cmd_table2,
+        "workloads": _cmd_workloads,
+    }
+    try:
+        return handlers[args.command](args)
+    except CheetahError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

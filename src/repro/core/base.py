@@ -1,0 +1,138 @@
+"""The pruning abstraction (paper §3).
+
+A pruning algorithm ``A_Q`` for query ``Q`` maps a data stream ``D`` to a
+subset ``A_Q(D) ⊆ D`` such that ``Q(A_Q(D)) == Q(D)`` — deterministically,
+or with probability ``1 - delta`` for the randomized variants of §5.
+Every concrete pruner in this package implements :class:`Pruner`:
+
+* :meth:`Pruner.process` — the per-packet dataplane decision
+  (:data:`PruneDecision.PRUNE` or :data:`PruneDecision.FORWARD`);
+* :meth:`Pruner.footprint` — its Table 2 hardware cost, so the compiler
+  can reject configurations that do not fit;
+* :attr:`Pruner.guarantee` — deterministic or probabilistic.
+
+Crucially, every pruner satisfies the *superset-safety* property §7.2
+relies on: forwarding a superset of what the pruner chose (e.g. because a
+pruned packet's retransmission slipped through) never changes the query
+output.  The master's completion step is idempotent over duplicates and
+extra entries.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Generic, Iterable, Iterator, List, Tuple, TypeVar
+
+from ..switch.resources import ResourceFootprint, ResourceModel, TOFINO
+
+Entry = TypeVar("Entry")
+
+
+class PruneDecision(Enum):
+    """The dataplane's verdict for one packet."""
+
+    PRUNE = "prune"
+    FORWARD = "forward"
+
+
+class Guarantee(Enum):
+    """Correctness guarantee class of a pruning algorithm (§4 vs §5)."""
+
+    DETERMINISTIC = "deterministic"
+    PROBABILISTIC = "probabilistic"
+
+
+@dataclass
+class PruneStats:
+    """Running counters a pruner maintains."""
+
+    processed: int = 0
+    pruned: int = 0
+
+    @property
+    def forwarded(self) -> int:
+        """Packets passed through to the master."""
+        return self.processed - self.pruned
+
+    @property
+    def pruning_rate(self) -> float:
+        """Fraction of processed entries pruned (0 when nothing processed)."""
+        if self.processed == 0:
+            return 0.0
+        return self.pruned / self.processed
+
+    def record(self, decision: PruneDecision) -> None:
+        """Account one decision."""
+        self.processed += 1
+        if decision is PruneDecision.PRUNE:
+            self.pruned += 1
+
+
+class Pruner(ABC, Generic[Entry]):
+    """Base class for all switch pruning algorithms."""
+
+    #: Guarantee class; overridden by probabilistic variants.
+    guarantee: Guarantee = Guarantee.DETERMINISTIC
+
+    def __init__(self) -> None:
+        self.stats = PruneStats()
+
+    @abstractmethod
+    def process(self, entry: Entry) -> PruneDecision:
+        """Decide PRUNE/FORWARD for one entry, updating switch state."""
+
+    @abstractmethod
+    def footprint(self) -> ResourceFootprint:
+        """Hardware resources this configuration consumes (Table 2)."""
+
+    def reset(self) -> None:
+        """Clear all dataplane state (new query / switch reboot)."""
+        self.stats = PruneStats()
+
+    def validate(self, model: ResourceModel = TOFINO) -> None:
+        """Raise ``ResourceError`` when this pruner does not fit ``model``."""
+        self.footprint().check_fits(model)
+
+    # -- convenience driving -----------------------------------------------
+
+    def prune_stream(self, entries: Iterable[Entry]) -> Iterator[Entry]:
+        """Yield the forwarded (surviving) entries of a stream."""
+        for entry in entries:
+            if self.process(entry) is PruneDecision.FORWARD:
+                yield entry
+
+    def survivors(self, entries: Iterable[Entry]) -> List[Entry]:
+        """Materialized :meth:`prune_stream`."""
+        return list(self.prune_stream(entries))
+
+    def split_stream(
+        self, entries: Iterable[Entry]
+    ) -> Tuple[List[Entry], List[Entry]]:
+        """Partition a stream into (forwarded, pruned) lists."""
+        forwarded: List[Entry] = []
+        pruned: List[Entry] = []
+        for entry in entries:
+            if self.process(entry) is PruneDecision.FORWARD:
+                forwarded.append(entry)
+            else:
+                pruned.append(entry)
+        return forwarded, pruned
+
+
+class PassthroughPruner(Pruner[Entry]):
+    """A pruner that never prunes — the no-switch baseline.
+
+    Running any query pipeline with this pruner is exactly the software
+    path; useful to validate that Cheetah-with-pruning and the baseline
+    produce identical outputs.
+    """
+
+    def process(self, entry: Entry) -> PruneDecision:
+        decision = PruneDecision.FORWARD
+        self.stats.record(decision)
+        return decision
+
+    def footprint(self) -> ResourceFootprint:
+        return ResourceFootprint(label="PASSTHROUGH")

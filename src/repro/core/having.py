@@ -1,0 +1,173 @@
+"""HAVING pruning (paper §4.3, Example 5; Fig. 10f/11f).
+
+``SELECT key ... GROUP BY key HAVING f(value) > c``:
+
+* For ``f`` = MAX (or MIN), a single entry witnesses the condition: the
+  switch forwards an entry iff its value passes the threshold, then a
+  DISTINCT stage suppresses repeat keys.
+* For ``f`` = SUM or COUNT no single entry suffices, so the switch keeps a
+  Count-Min sketch of per-key running totals.  Count-Min's one-sided error
+  (``estimate >= true``) means that by the time a key's true total crosses
+  ``c`` its estimate certainly has — so forwarding entries whose estimate
+  exceeds ``c`` never loses an output key.  A DISTINCT stage again
+  suppresses repeat candidates.  The master receives a *superset* of the
+  output keys and removes false positives with a partial second pass
+  (exact totals for the candidate keys only).
+
+``SUM/COUNT < c`` (the other direction) is future work in the paper and
+raises :class:`UnsupportedOperationError` here.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..errors import ConfigurationError, UnsupportedOperationError
+from ..sketches.cachematrix import CacheMatrix
+from ..sketches.countmin import CountMinSketch
+from ..sketches.hashing import Hashable
+from ..switch.compiler import footprint_having
+from ..switch.resources import ResourceFootprint
+from .base import Guarantee, PruneDecision, Pruner
+
+_SKETCH_AGGREGATES = ("sum", "count")
+_SINGLE_AGGREGATES = ("max", "min")
+
+
+class HavingPruner(Pruner[Tuple[Hashable, float]]):
+    """Prune entries that cannot contribute a ``HAVING f(v) > c`` key.
+
+    Parameters
+    ----------
+    threshold:
+        The constant ``c``.
+    aggregate:
+        ``"sum"``, ``"count"`` (sketch path) or ``"max"``, ``"min"``
+        (single-entry path).
+    width, depth:
+        Count-Min dimensions (paper default 1024 x 3).
+    dedupe_rows, dedupe_cols:
+        Dimensions of the DISTINCT stage that suppresses repeat candidate
+        keys; pass ``dedupe_rows=0`` to disable deduplication.
+    """
+
+    guarantee = Guarantee.DETERMINISTIC
+
+    def __init__(
+        self,
+        threshold: float,
+        aggregate: str = "sum",
+        width: int = 1024,
+        depth: int = 3,
+        dedupe_rows: int = 1024,
+        dedupe_cols: int = 2,
+        conservative: bool = False,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if aggregate not in _SKETCH_AGGREGATES + _SINGLE_AGGREGATES:
+            raise ConfigurationError(
+                f"aggregate must be one of "
+                f"{_SKETCH_AGGREGATES + _SINGLE_AGGREGATES}, got {aggregate!r}"
+            )
+        if threshold < 0 and aggregate in _SKETCH_AGGREGATES:
+            raise UnsupportedOperationError(
+                "HAVING SUM/COUNT with negative thresholds needs the '< c' "
+                "direction, which the paper defers to future work"
+            )
+        self.threshold = threshold
+        self.aggregate = aggregate
+        self.width = width
+        self.depth = depth
+        self._sketch: Optional[CountMinSketch] = None
+        if aggregate in _SKETCH_AGGREGATES:
+            self._sketch = CountMinSketch(
+                width, depth, conservative=conservative, seed=seed
+            )
+        self._dedupe: Optional[CacheMatrix] = None
+        if dedupe_rows > 0:
+            self._dedupe = CacheMatrix(dedupe_rows, dedupe_cols, seed=seed ^ 0xED)
+
+    def process(self, entry: Tuple[Hashable, float]) -> PruneDecision:
+        key, value = entry
+        if self._sketch is not None:
+            if value < 0:
+                raise UnsupportedOperationError(
+                    "negative SUM contributions break Count-Min one-sidedness"
+                )
+            # Switch counters are integers; rounding UP keeps the estimate
+            # an upper bound on the true (possibly fractional) sum.
+            amount = 1 if self.aggregate == "count" else math.ceil(value)
+            estimate = self._sketch.add(key, amount)
+            passes = estimate > self.threshold
+        elif self.aggregate == "max":
+            passes = value > self.threshold
+        else:  # min
+            passes = value < self.threshold
+        if not passes:
+            decision = PruneDecision.PRUNE
+        elif self._dedupe is not None and self._dedupe.lookup_insert(key):
+            # Candidate key already forwarded; suppress the duplicate.
+            decision = PruneDecision.PRUNE
+        else:
+            decision = PruneDecision.FORWARD
+        self.stats.record(decision)
+        return decision
+
+    def footprint(self) -> ResourceFootprint:
+        fp = footprint_having(width=self.width, depth=self.depth)
+        if self._dedupe is not None:
+            from ..switch.compiler import footprint_distinct
+
+            fp = fp.merged_serial(
+                footprint_distinct(cols=self._dedupe.cols, rows=self._dedupe.rows)
+            )
+        return fp
+
+    def reset(self) -> None:
+        super().reset()
+        if self._sketch is not None:
+            self._sketch.clear()
+        if self._dedupe is not None:
+            self._dedupe.clear()
+
+
+def master_having(
+    candidate_keys: Iterable[Hashable],
+    full_data: Sequence[Tuple[Hashable, float]],
+    threshold: float,
+    aggregate: str = "sum",
+) -> List[Hashable]:
+    """The master's completion, including the partial second pass.
+
+    ``candidate_keys`` is the key set extracted from forwarded entries (a
+    superset of the answer); ``full_data`` stands for the second pass that
+    re-streams entries of the candidate keys so the master can compute the
+    exact aggregate and drop false positives.
+    """
+    candidates: Set[Hashable] = set(candidate_keys)
+    totals: Dict[Hashable, float] = {}
+    for key, value in full_data:
+        if key not in candidates:
+            continue
+        if aggregate == "sum":
+            totals[key] = totals.get(key, 0.0) + value
+        elif aggregate == "count":
+            totals[key] = totals.get(key, 0) + 1
+        elif aggregate == "max":
+            totals[key] = max(totals.get(key, float("-inf")), value)
+        elif aggregate == "min":
+            totals[key] = min(totals.get(key, float("inf")), value)
+        else:
+            raise ConfigurationError(f"unknown aggregate {aggregate!r}")
+    if aggregate == "min":
+        return [key for key, total in totals.items() if total < threshold]
+    return [key for key, total in totals.items() if total > threshold]
+
+
+def reference_having(
+    data: Sequence[Tuple[Hashable, float]], threshold: float, aggregate: str = "sum"
+) -> List[Hashable]:
+    """Ground truth: the HAVING output over the unpruned data."""
+    return master_having((key for key, _ in data), data, threshold, aggregate)

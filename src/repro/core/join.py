@@ -1,0 +1,305 @@
+"""JOIN pruning via two-pass Bloom filters (paper §4.3, Example 4).
+
+Pass 1: the workers stream only the join column of both tables through the
+switch, which inserts each key into a per-table Bloom filter (``F_A``,
+``F_B``).  Pass 2: the tables stream again and the switch prunes an entry
+of ``A`` whose key misses in ``F_B`` (and vice versa).  Bloom filters have
+no false negatives, so no matching entry is ever pruned — deterministic
+correctness; false positives only lower the pruning rate.
+
+When table sizes are very different, :class:`AsymmetricJoinPruner` streams
+the small table unpruned (building a low-FP filter for it, since all the
+memory serves one table) and prunes only the large table — the paper's
+small-table optimization.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
+
+from ..errors import ConfigurationError
+from ..sketches.bloom import BloomFilter, RegisterBloomFilter
+from ..sketches.hashing import Hashable
+from ..switch.compiler import footprint_join
+from ..switch.resources import ResourceFootprint
+from .base import Guarantee, PruneDecision, Pruner
+
+#: A join-stream entry: which table it came from and its join key.
+SideKey = Tuple[str, Hashable]
+
+_FILTERS = {"bf": BloomFilter, "rbf": RegisterBloomFilter}
+
+
+def _make_filter(variant: str, size_bits: int, hashes: int, seed: int):
+    if variant not in _FILTERS:
+        raise ConfigurationError(
+            f"join filter variant must be one of {sorted(_FILTERS)}, got {variant!r}"
+        )
+    return _FILTERS[variant](size_bits, hashes=hashes, seed=seed)
+
+
+class JoinPruner(Pruner[SideKey]):
+    """Symmetric two-pass JOIN pruner.
+
+    Entries are ``(side, key)`` with ``side`` one of the two table names.
+    Call :meth:`build` (or feed pass-1 traffic through :meth:`observe_build`)
+    before processing pass-2 traffic; processing before both filters exist
+    is a configuration error because pruning would be unsound.
+
+    Parameters
+    ----------
+    left, right:
+        Table names for the two sides.
+    memory_bits:
+        Total filter memory ``M`` (split evenly between the two filters),
+        matching the paper's sweep of 1-16 MB.
+    hashes:
+        Hash functions per filter (paper default ``H = 3``).
+    variant:
+        ``"bf"`` (standard) or ``"rbf"`` (register Bloom filter).
+    """
+
+    guarantee = Guarantee.DETERMINISTIC
+
+    def __init__(
+        self,
+        left: str,
+        right: str,
+        memory_bits: int = 4 * 1024 * 1024 * 8,
+        hashes: int = 3,
+        variant: str = "bf",
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if left == right:
+            raise ConfigurationError("join sides must have distinct names")
+        self.left = left
+        self.right = right
+        self.memory_bits = memory_bits
+        self.hashes = hashes
+        self.variant = variant
+        half = max(64, memory_bits // 2)
+        self._filters = {
+            left: _make_filter(variant, half, hashes, seed),
+            right: _make_filter(variant, half, hashes, seed ^ 0x10B),
+        }
+        self._built = False
+
+    def _filter_of(self, side: str):
+        try:
+            return self._filters[side]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown join side {side!r}; expected {self.left!r} or {self.right!r}"
+            ) from None
+
+    def observe_build(self, side: str, key: Hashable) -> None:
+        """Pass-1 traffic: record ``key`` in ``side``'s filter."""
+        self._filter_of(side).add(key)
+
+    def build(self, left_keys: Iterable[Hashable], right_keys: Iterable[Hashable]) -> None:
+        """Run the whole first pass from two key iterables."""
+        for key in left_keys:
+            self.observe_build(self.left, key)
+        for key in right_keys:
+            self.observe_build(self.right, key)
+        self.seal()
+
+    def seal(self) -> None:
+        """Mark the first pass finished; pass-2 pruning becomes legal."""
+        self._built = True
+
+    def process(self, entry: SideKey) -> PruneDecision:
+        if not self._built:
+            raise ConfigurationError(
+                "JoinPruner.process called before the build pass; call build()/seal()"
+            )
+        side, key = entry
+        other = self.right if side == self.left else self.left
+        if side not in self._filters:
+            self._filter_of(side)  # raises with a helpful message
+        match = key in self._filters[other]
+        decision = PruneDecision.FORWARD if match else PruneDecision.PRUNE
+        self.stats.record(decision)
+        return decision
+
+    def footprint(self) -> ResourceFootprint:
+        return footprint_join(
+            memory_bits=self.memory_bits, hashes=self.hashes, variant=self.variant
+        )
+
+    def reset(self) -> None:
+        super().reset()
+        for f in self._filters.values():
+            f.clear()
+        self._built = False
+
+
+class AsymmetricJoinPruner(Pruner[Hashable]):
+    """Small-table JOIN optimization (§4.3).
+
+    The small table streams through unpruned while all the filter memory
+    records its keys at a low false-positive rate; then the large table is
+    pruned against that filter.  ``process`` handles large-table keys only.
+    """
+
+    guarantee = Guarantee.DETERMINISTIC
+
+    def __init__(
+        self,
+        memory_bits: int = 4 * 1024 * 1024 * 8,
+        hashes: int = 3,
+        variant: str = "bf",
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        self.memory_bits = memory_bits
+        self.hashes = hashes
+        self.variant = variant
+        self._filter = _make_filter(variant, max(64, memory_bits), hashes, seed)
+        self._built = False
+
+    def build_from_small_table(self, keys: Iterable[Hashable]) -> int:
+        """Stream the small table (unpruned) and index its keys; returns count."""
+        count = 0
+        for key in keys:
+            self._filter.add(key)
+            count += 1
+        self._built = True
+        return count
+
+    def process(self, entry: Hashable) -> PruneDecision:
+        if not self._built:
+            raise ConfigurationError(
+                "AsymmetricJoinPruner.process before build_from_small_table"
+            )
+        decision = (
+            PruneDecision.FORWARD if entry in self._filter else PruneDecision.PRUNE
+        )
+        self.stats.record(decision)
+        return decision
+
+    def footprint(self) -> ResourceFootprint:
+        return footprint_join(
+            memory_bits=self.memory_bits, hashes=self.hashes, variant=self.variant
+        )
+
+    def reset(self) -> None:
+        super().reset()
+        self._filter.clear()
+        self._built = False
+
+
+def master_join(
+    left_rows: Sequence[Tuple[Hashable, object]],
+    right_rows: Sequence[Tuple[Hashable, object]],
+) -> List[Tuple[Hashable, object, object]]:
+    """The master's completion: exact inner hash join over survivors.
+
+    ``left_rows`` / ``right_rows`` are ``(key, payload)`` pairs; the result
+    lists ``(key, left_payload, right_payload)`` for every key match.
+    """
+    index: Dict[Hashable, List[object]] = {}
+    for key, payload in left_rows:
+        index.setdefault(key, []).append(payload)
+    output: List[Tuple[Hashable, object, object]] = []
+    for key, payload in right_rows:
+        for left_payload in index.get(key, ()):
+            output.append((key, left_payload, payload))
+    return output
+
+
+class OuterJoinPruner(Pruner[SideKey]):
+    """LEFT/RIGHT OUTER join pruning (the paper's footnote 3 modification).
+
+    In a LEFT OUTER join every left-table row appears in the output, so
+    the switch must never prune the preserved side; only the other side's
+    non-matching entries are prunable.  The build pass is unchanged: both
+    sides' keys go into Bloom filters, but only the non-preserved side's
+    filter is consulted at probe time.
+    """
+
+    guarantee = Guarantee.DETERMINISTIC
+
+    def __init__(
+        self,
+        left: str,
+        right: str,
+        preserved: str = "left",
+        memory_bits: int = 4 * 1024 * 1024 * 8,
+        hashes: int = 3,
+        variant: str = "bf",
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if preserved not in ("left", "right"):
+            raise ConfigurationError(
+                f"preserved side must be 'left' or 'right', got {preserved!r}"
+            )
+        self.preserved_table = left if preserved == "left" else right
+        # The preserved side only needs ITS filter built (to prune the
+        # other side); give it all the memory.
+        self._inner = JoinPruner(
+            left=left,
+            right=right,
+            memory_bits=memory_bits,
+            hashes=hashes,
+            variant=variant,
+            seed=seed,
+        )
+
+    def build(self, left_keys: Iterable[Hashable], right_keys: Iterable[Hashable]) -> None:
+        """Pass 1: index both key columns."""
+        self._inner.build(left_keys, right_keys)
+
+    def seal(self) -> None:
+        """Mark the build pass finished."""
+        self._inner.seal()
+
+    def process(self, entry: SideKey) -> PruneDecision:
+        side, _ = entry
+        if side == self.preserved_table:
+            # Preserved-side rows always reach the master.
+            decision = PruneDecision.FORWARD
+            self.stats.record(decision)
+            # Keep the inner pruner's sequence consistent without pruning.
+            return decision
+        decision = self._inner.process(entry)
+        self.stats.record(decision)
+        return decision
+
+    def footprint(self) -> ResourceFootprint:
+        return self._inner.footprint()
+
+    def reset(self) -> None:
+        super().reset()
+        self._inner.reset()
+
+
+def master_outer_join(
+    left_rows: Sequence[Tuple[Hashable, object]],
+    right_rows: Sequence[Tuple[Hashable, object]],
+    preserved: str = "left",
+) -> List[Tuple[Hashable, object, object]]:
+    """Exact LEFT/RIGHT OUTER join over survivors.
+
+    Unmatched preserved-side rows pair with ``None`` on the other side.
+    """
+    if preserved not in ("left", "right"):
+        raise ConfigurationError(
+            f"preserved side must be 'left' or 'right', got {preserved!r}"
+        )
+    if preserved == "right":
+        flipped = master_outer_join(right_rows, left_rows, preserved="left")
+        return [(key, l, r) for key, r, l in flipped]
+    index: Dict[Hashable, List[object]] = {}
+    for key, payload in right_rows:
+        index.setdefault(key, []).append(payload)
+    output: List[Tuple[Hashable, object, object]] = []
+    for key, payload in left_rows:
+        matches = index.get(key)
+        if matches:
+            output.extend((key, payload, right_payload) for right_payload in matches)
+        else:
+            output.append((key, payload, None))
+    return output

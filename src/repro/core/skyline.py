@@ -1,0 +1,321 @@
+"""SKYLINE pruning via monotone score projection (paper §4.4, Appendix D).
+
+The switch stores ``w`` points, each across two logical stages: one for
+its score ``h(y)`` and one for its coordinates.  For an arriving point
+``x``:
+
+* if ``h(x) > h(y_i)`` the slot is replaced and the *evicted* point rides
+  on in the packet (rolling minimum by score, so the stored points are the
+  ``w`` highest-scoring seen so far — all true skyline members when ``h``
+  is strictly monotone);
+* otherwise, if ``y_i`` dominates the carried point it is marked for
+  pruning — the mark only takes effect at the end of the pipeline, exactly
+  the hardware constraint the paper calls out.
+
+Score functions: ``sum`` (cheap, biased toward large-range dimensions),
+``product`` (the ideal, *not* switch-implementable — kept as the reference
+the heuristic approximates) and ``aph`` (Approximate Product Heuristic:
+sum of TCAM/table-approximated logarithms; Appendix D).  A ``baseline``
+policy that pins the first ``w`` points without replacement reproduces
+Fig. 10b's "Baseline" line.
+
+Because the highest-scoring points live in switch memory until evicted,
+the end of stream drains them to the master (:meth:`SkylinePruner.drain`);
+the master computes the exact skyline over forwarded + drained points.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError, UnsupportedOperationError
+from ..switch.compiler import footprint_skyline
+from ..switch.resources import ResourceFootprint
+from ..switch.tcam import LogApproxTable
+from .base import Guarantee, PruneDecision, Pruner
+
+Point = Tuple[float, ...]
+
+
+def dominates(a: Point, b: Point) -> bool:
+    """True when ``a`` dominates ``b``: >= everywhere and > somewhere."""
+    return all(x >= y for x, y in zip(a, b)) and any(x > y for x, y in zip(a, b))
+
+
+def weakly_dominates(a: Point, b: Point) -> bool:
+    """True when ``a`` is at least ``b`` in every dimension (paper's test)."""
+    return all(x >= y for x, y in zip(a, b))
+
+
+def score_sum(point: Point) -> float:
+    """The SUM heuristic ``h_S(x) = sum(x_i)``."""
+    return float(sum(point))
+
+
+def score_product(point: Point) -> float:
+    """The ideal product score ``h_P(x) = prod(x_i)`` (not switch-feasible).
+
+    Coordinates are shifted by one so zero values keep monotonicity
+    without zeroing the product.
+    """
+    result = 1.0
+    for value in point:
+        result *= value + 1.0
+    return result
+
+
+class AphScore:
+    """Approximate Product Heuristic: sum of table-approximated logs.
+
+    Uses the shared :class:`LogApproxTable` (2^16 exact-match entries plus
+    the TCAM MSB finder) to approximate ``beta * log2(x_i + 1)`` per
+    dimension and sums on the switch.  Monotone in every dimension, which
+    is all correctness needs.
+    """
+
+    def __init__(self, beta: int = 1 << 8) -> None:
+        self._table = LogApproxTable(beta=beta)
+
+    def __call__(self, point: Point) -> float:
+        total = 0
+        for value in point:
+            if value < 0:
+                raise UnsupportedOperationError(
+                    "APH requires non-negative coordinates (log domain)"
+                )
+            total += self._table.approx_log(int(value) + 1)
+        return float(total)
+
+
+_SCORES: dict = {
+    "sum": lambda: score_sum,
+    "product": lambda: score_product,
+    "aph": AphScore,
+}
+
+
+class SkylinePruner(Pruner[Point]):
+    """The w-point skyline pruner.
+
+    Parameters
+    ----------
+    dims:
+        Dimensionality ``D`` of the points (Table 2 default 2).
+    points:
+        Stored pruning points ``w`` (Table 2 default 10).
+    score:
+        ``"sum"``, ``"product"``, ``"aph"``, or ``"baseline"``.
+    """
+
+    guarantee = Guarantee.DETERMINISTIC
+
+    def __init__(self, dims: int = 2, points: int = 10, score: str = "sum") -> None:
+        super().__init__()
+        if dims < 1:
+            raise ConfigurationError(f"dims must be >= 1, got {dims}")
+        if points < 1:
+            raise ConfigurationError(f"points must be >= 1, got {points}")
+        self.dims = dims
+        self.num_points = points
+        self.score_name = score
+        if score == "baseline":
+            self._score: Callable[[Point], float] = score_sum
+        elif score in _SCORES:
+            self._score = _SCORES[score]()
+        else:
+            raise ConfigurationError(
+                f"score must be one of {sorted(_SCORES) + ['baseline']}, got {score!r}"
+            )
+        self._slots: List[Optional[Tuple[float, Point]]] = [None] * points
+
+    def _check_dims(self, point: Point) -> None:
+        if len(point) != self.dims:
+            raise ConfigurationError(
+                f"point has {len(point)} dimensions, pruner configured for {self.dims}"
+            )
+
+    def process(self, entry: Point) -> PruneDecision:
+        self._check_dims(entry)
+        carried: Optional[Point] = tuple(entry)
+        carried_score = self._score(carried)
+        marked = False
+        for i, slot in enumerate(self._slots):
+            if slot is None:
+                self._slots[i] = (carried_score, carried)
+                carried = None
+                break
+            slot_score, slot_point = slot
+            if self.score_name != "baseline" and carried_score > slot_score:
+                # Replace: the higher-score point stays, evicted rides on.
+                self._slots[i] = (carried_score, carried)
+                carried, carried_score = slot_point, slot_score
+                marked = False  # the packet now carries a different point
+            elif weakly_dominates(slot_point, carried):
+                marked = True
+        if carried is None:
+            # The arriving point was absorbed into an empty slot; nothing
+            # to forward, but nothing was lost either (it will drain).
+            decision = PruneDecision.PRUNE
+        else:
+            decision = PruneDecision.PRUNE if marked else PruneDecision.FORWARD
+        self.stats.record(decision)
+        self._last_carried = carried
+        return decision
+
+    @property
+    def last_carried(self) -> Optional[Point]:
+        """The point the last forwarded packet actually carried.
+
+        After a replacement the packet leaves the pipeline holding the
+        evicted point, not the arriving one; the engine uses this to build
+        the master's received set faithfully.
+        """
+        return getattr(self, "_last_carried", None)
+
+    def drain(self) -> List[Point]:
+        """End-of-stream: the stored points, which the master must receive."""
+        return [slot[1] for slot in self._slots if slot is not None]
+
+    def stored_scores(self) -> List[float]:
+        """Scores of the stored points, for inspection/tests."""
+        return [slot[0] for slot in self._slots if slot is not None]
+
+    def footprint(self) -> ResourceFootprint:
+        score = "aph" if self.score_name == "aph" else "sum"
+        return footprint_skyline(dims=self.dims, points=self.num_points, score=score)
+
+    def reset(self) -> None:
+        super().reset()
+        self._slots = [None] * self.num_points
+        self._last_carried = None
+
+
+def master_skyline(points: Sequence[Point]) -> List[Point]:
+    """The master's completion: exact skyline (maximization, all dims).
+
+    Sort-filter-skyline: order candidates by a monotone score descending,
+    so a point can only be dominated by points *before* it — and any
+    dominator before it is itself in the skyline.  Each candidate then
+    compares against the skyline found so far (small), giving O(n * s)
+    instead of the naive O(n^2).  Output is identical to block-nested
+    loops; still the computationally expensive software step the paper
+    says makes high pruning rates matter for SKYLINE.
+    """
+    unique = list(dict.fromkeys(tuple(p) for p in points))
+    unique.sort(key=score_sum, reverse=True)
+    result: List[Point] = []
+    for candidate in unique:
+        if not any(
+            other != candidate and weakly_dominates(other, candidate)
+            for other in result
+        ):
+            result.append(candidate)
+    return result
+
+
+def reflect_point(
+    point: Point, directions: Sequence[str], bounds: Sequence[float]
+) -> Point:
+    """Map a mixed min/max point into all-maximize space (footnote 4).
+
+    Minimized dimensions are reflected about an upper ``bound``
+    (``v -> bound - v``), which keeps coordinates non-negative — required
+    by APH's log domain — and turns "smaller is better" into "larger is
+    better" without multiplication.
+    """
+    if len(directions) != len(point) or len(bounds) != len(point):
+        raise ConfigurationError(
+            f"point/directions/bounds arity mismatch: "
+            f"{len(point)}/{len(directions)}/{len(bounds)}"
+        )
+    reflected = []
+    for value, direction, bound in zip(point, directions, bounds):
+        if direction == "max":
+            reflected.append(value)
+        elif direction == "min":
+            if value > bound:
+                raise ConfigurationError(
+                    f"value {value} exceeds its reflection bound {bound}"
+                )
+            reflected.append(bound - value)
+        else:
+            raise ConfigurationError(
+                f"direction must be 'max' or 'min', got {direction!r}"
+            )
+    return tuple(reflected)
+
+
+class DirectionalSkylinePruner(Pruner[Point]):
+    """SKYLINE with per-dimension min/max directions.
+
+    Wraps :class:`SkylinePruner` behind the reflection of
+    :func:`reflect_point`; ``drain`` returns points in the *original*
+    coordinate space so the master's completion is unchanged.
+    """
+
+    guarantee = Guarantee.DETERMINISTIC
+
+    def __init__(
+        self,
+        directions: Sequence[str],
+        bounds: Sequence[float],
+        points: int = 10,
+        score: str = "sum",
+    ) -> None:
+        super().__init__()
+        self.directions = list(directions)
+        self.bounds = list(bounds)
+        self._inner = SkylinePruner(dims=len(directions), points=points, score=score)
+
+    def process(self, entry: Point) -> PruneDecision:
+        reflected = reflect_point(entry, self.directions, self.bounds)
+        decision = self._inner.process(reflected)
+        self.stats.record(decision)
+        return decision
+
+    @property
+    def last_carried(self) -> Optional[Point]:
+        """The forwarded packet's point, back in original coordinates."""
+        carried = self._inner.last_carried
+        if carried is None:
+            return None
+        return self._unreflect(carried)
+
+    def _unreflect(self, point: Point) -> Point:
+        return tuple(
+            bound - value if direction == "min" else value
+            for value, direction, bound in zip(point, self.directions, self.bounds)
+        )
+
+    def drain(self) -> List[Point]:
+        """Stored points in original coordinates."""
+        return [self._unreflect(p) for p in self._inner.drain()]
+
+    def footprint(self) -> ResourceFootprint:
+        return self._inner.footprint()
+
+    def reset(self) -> None:
+        super().reset()
+        self._inner.reset()
+
+
+def master_directional_skyline(
+    points: Sequence[Point], directions: Sequence[str]
+) -> List[Point]:
+    """Exact skyline under per-dimension directions (master side)."""
+    def better_or_equal(a: Point, b: Point) -> bool:
+        return all(
+            (x >= y) if d == "max" else (x <= y)
+            for x, y, d in zip(a, b, directions)
+        )
+
+    unique = list(dict.fromkeys(tuple(p) for p in points))
+    return [
+        candidate
+        for candidate in unique
+        if not any(
+            other != candidate and better_or_equal(other, candidate)
+            for other in unique
+        )
+    ]

@@ -1,0 +1,202 @@
+"""TOP N pruning (paper §4.3 Example 3 deterministic, §5 Example 7 randomized).
+
+Deterministic (:class:`TopNDeterministicPruner`): the switch learns the
+minimum ``t0`` of the first ``N`` entries, then maintains exponentially
+spaced thresholds ``t_i = 2^i * t0`` with one counter each.  A threshold
+*activates* once ``N`` entries at least as large have been processed;
+entries below the largest active threshold are provably outside the top N
+and are pruned.  Powers of two keep the thresholds computable with shifts.
+
+Randomized (:class:`TopNRandomizedPruner`): entries are assigned a uniform
+random row of a ``d x w`` rolling-minimum matrix; an entry smaller than
+all ``w`` values stored in its row is pruned.  Theorem 2 sizes ``(d, w)``
+so that with probability ``1 - delta`` no true top-N entry lands in a row
+already holding ``w`` larger top-N entries — i.e. none is pruned.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import List, Optional, Sequence
+
+from ..errors import ConfigurationError
+from ..sketches.cachematrix import RollingMinMatrix
+from ..switch.compiler import footprint_topn_det, footprint_topn_rand
+from ..switch.resources import ResourceFootprint
+from .base import Guarantee, PruneDecision, Pruner
+from .sizing import TopNConfig, topn_cols
+
+
+class TopNDeterministicPruner(Pruner[float]):
+    """Threshold-counter TOP N with deterministic correctness.
+
+    Parameters
+    ----------
+    n:
+        Output size ``N``.
+    thresholds:
+        Number of thresholds ``w`` (Table 2 default 4).  The highest
+        reachable pruning point is ``t0 * 2^(w-1)``.
+    """
+
+    guarantee = Guarantee.DETERMINISTIC
+
+    def __init__(self, n: int, thresholds: int = 4) -> None:
+        super().__init__()
+        if n <= 0:
+            raise ConfigurationError(f"N must be positive, got {n}")
+        if thresholds < 1:
+            raise ConfigurationError(f"need at least 1 threshold, got {thresholds}")
+        self.n = n
+        self.num_thresholds = thresholds
+        self._warmup_seen = 0
+        self._warmup_min: Optional[float] = None
+        self._thresholds: List[float] = []
+        self._counters: List[int] = []
+
+    def _finish_warmup(self) -> None:
+        """Fix ``t0`` and lay out the exponential ladder.
+
+        ``t0`` is immediately active: the first N entries are all at least
+        ``t0`` by construction, so anything smaller is provably outside
+        the top N.  Higher thresholds activate once their counters reach N.
+        """
+        t0 = self._warmup_min
+        assert t0 is not None
+        self._thresholds = [t0]
+        if t0 > 0:
+            for i in range(1, self.num_thresholds):
+                self._thresholds.append(t0 * (2**i))
+        self._counters = [0] * len(self._thresholds)
+        # Warmup entries cannot count toward t1..tw (the ladder did not
+        # exist while they streamed), but they all count for t0.
+        self._counters[0] = self.n
+
+    def _active_threshold(self) -> Optional[float]:
+        """Largest threshold whose counter reached N, if any."""
+        active = None
+        for t, count in zip(self._thresholds, self._counters):
+            if count >= self.n:
+                active = t
+        return active
+
+    def process(self, entry: float) -> PruneDecision:
+        if self._warmup_seen < self.n:
+            # First N entries always pass; track their minimum for t0.
+            self._warmup_seen += 1
+            if self._warmup_min is None or entry < self._warmup_min:
+                self._warmup_min = entry
+            if self._warmup_seen == self.n:
+                self._finish_warmup()
+            decision = PruneDecision.FORWARD
+            self.stats.record(decision)
+            return decision
+        for i, t in enumerate(self._thresholds):
+            if entry >= t:
+                self._counters[i] += 1
+        active = self._active_threshold()
+        decision = (
+            PruneDecision.PRUNE
+            if active is not None and entry < active
+            else PruneDecision.FORWARD
+        )
+        self.stats.record(decision)
+        return decision
+
+    @property
+    def current_cutoff(self) -> Optional[float]:
+        """The threshold currently used for pruning (None during warmup)."""
+        if not self._thresholds:
+            return None
+        return self._active_threshold()
+
+    def footprint(self) -> ResourceFootprint:
+        return footprint_topn_det(thresholds=self.num_thresholds)
+
+    def reset(self) -> None:
+        super().reset()
+        self._warmup_seen = 0
+        self._warmup_min = None
+        self._thresholds = []
+        self._counters = []
+
+
+class TopNRandomizedPruner(Pruner[float]):
+    """Rolling-minimum matrix TOP N with probabilistic guarantee (§5).
+
+    Parameters
+    ----------
+    n:
+        Output size ``N``.
+    rows:
+        Matrix rows ``d``.  When ``cols`` is None, ``w`` is sized by
+        Theorem 2 for the requested ``delta``.
+    cols:
+        Matrix columns ``w``; explicit values bypass Theorem 2 (used by
+        resource-sweep benchmarks).
+    delta:
+        Target failure probability (paper's evaluation uses 1e-4).
+    seed:
+        Seed for the per-entry random row assignment.
+    """
+
+    guarantee = Guarantee.PROBABILISTIC
+
+    def __init__(
+        self,
+        n: int,
+        rows: int = 4096,
+        cols: Optional[int] = None,
+        delta: float = 1e-4,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if n <= 0:
+            raise ConfigurationError(f"N must be positive, got {n}")
+        self.n = n
+        self.delta = delta
+        if cols is None:
+            cols = topn_cols(rows, n, delta)
+        self._matrix = RollingMinMatrix(rows, cols)
+        self._rng = random.Random(seed)
+
+    @classmethod
+    def optimal(cls, n: int, delta: float = 1e-4, seed: int = 0) -> "TopNRandomizedPruner":
+        """Space-optimal configuration via the Lambert-W sizing."""
+        config = TopNConfig.optimal(n, delta)
+        return cls(n=n, rows=config.rows, cols=config.cols, delta=delta, seed=seed)
+
+    @property
+    def rows(self) -> int:
+        """Matrix rows ``d``."""
+        return self._matrix.rows
+
+    @property
+    def cols(self) -> int:
+        """Matrix columns ``w``."""
+        return self._matrix.cols
+
+    def process(self, entry: float) -> PruneDecision:
+        row = self._rng.randrange(self._matrix.rows)
+        pruned = self._matrix.offer(entry, row)
+        decision = PruneDecision.PRUNE if pruned else PruneDecision.FORWARD
+        self.stats.record(decision)
+        return decision
+
+    def footprint(self) -> ResourceFootprint:
+        return footprint_topn_rand(cols=self.cols, rows=self.rows)
+
+    def reset(self) -> None:
+        super().reset()
+        self._matrix.clear()
+
+
+def master_topn(survivors: Sequence[float], n: int) -> List[float]:
+    """The master's completion: exact top-N (descending) via an N-heap.
+
+    This is the software algorithm the paper notes "processes millions of
+    entries per second" — cheap, which is why TOP N tolerates lower
+    pruning rates than SKYLINE.
+    """
+    return heapq.nlargest(n, survivors)

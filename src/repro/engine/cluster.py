@@ -1,0 +1,644 @@
+"""The Cheetah cluster runner: workers → switch pruner → master.
+
+:class:`Cluster` executes a :class:`~repro.engine.plan.Query` the way the
+paper's testbed does: the table is partitioned across workers, each
+CWorker streams only the queried columns as one-entry packets, the switch
+pruner decides PRUNE/FORWARD per entry, and the CMaster completes the
+query on the survivors.  The runner returns both the output (asserted
+equal to :func:`~repro.engine.reference.run_reference`) and the traffic
+volumes each phase moved, which the cost model turns into completion
+times.
+
+Multi-pass operators are faithful: JOIN streams the key columns of both
+tables to build the Bloom filters before the pruning pass; HAVING's
+master issues the partial second pass for candidate keys; SKYLINE drains
+the switch-resident points at FIN.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.base import PassthroughPruner, PruneDecision, Pruner
+from ..core.distinct import DistinctPruner, FingerprintDistinctPruner
+from ..core.filtering import FilterPruner
+from ..core.groupby import GroupByPruner, master_groupby
+from ..core.having import HavingPruner, master_having
+from ..core.join import JoinPruner
+from ..core.skyline import SkylinePruner, master_skyline
+from ..core.topn import TopNDeterministicPruner, TopNRandomizedPruner, master_topn
+from ..errors import PlanError
+from ..switch.resources import ResourceModel, TOFINO
+from .plan import (
+    CountOp,
+    DistinctOp,
+    FilterOp,
+    GroupByOp,
+    HavingOp,
+    JoinOp,
+    Query,
+    SkylineOp,
+    TopNOp,
+)
+from .reference import TableMap, run_reference
+from .table import Table
+
+
+@dataclass
+class PhaseVolume:
+    """Traffic of one execution phase."""
+
+    name: str
+    streamed: int = 0
+    forwarded: int = 0
+
+    @property
+    def pruned(self) -> int:
+        """Entries the switch removed in this phase."""
+        return self.streamed - self.forwarded
+
+
+@dataclass
+class RunResult:
+    """Outcome of one cluster execution."""
+
+    query: str
+    output: object
+    phases: List[PhaseVolume]
+    used_cheetah: bool
+    workers: int
+    op_kind: str = "filter"
+
+    @property
+    def total_streamed(self) -> int:
+        """Entries sent by workers across all phases."""
+        return sum(phase.streamed for phase in self.phases)
+
+    @property
+    def total_forwarded(self) -> int:
+        """Entries that reached the master across all phases."""
+        return sum(phase.forwarded for phase in self.phases)
+
+    @property
+    def pruning_rate(self) -> float:
+        """Overall fraction of streamed entries pruned."""
+        if self.total_streamed == 0:
+            return 0.0
+        return 1.0 - self.total_forwarded / self.total_streamed
+
+
+@dataclass
+class PackedRunResult:
+    """Outcome of a §6 packed multi-query pass."""
+
+    results: List[RunResult]
+    phase: PhaseVolume
+
+    @property
+    def total_streamed(self) -> int:
+        """Entries streamed once for all packed queries."""
+        return self.phase.streamed
+
+    @property
+    def total_forwarded(self) -> int:
+        """Entries any packed query forwarded."""
+        return self.phase.forwarded
+
+    @property
+    def pruning_rate(self) -> float:
+        """Fraction of the shared stream pruned for every query."""
+        if self.phase.streamed == 0:
+            return 0.0
+        return 1.0 - self.phase.forwarded / self.phase.streamed
+
+
+@dataclass
+class ClusterConfig:
+    """Per-operator pruner parameters (paper defaults from Table 2 / §8)."""
+
+    distinct_rows: int = 4096
+    distinct_cols: int = 2
+    distinct_policy: str = "lru"
+    distinct_fingerprint: bool = False
+    distinct_delta: float = 1e-4
+    topn_randomized: bool = True
+    topn_rows: int = 4096
+    topn_cols: Optional[int] = None
+    topn_thresholds: int = 4
+    topn_delta: float = 1e-4
+    groupby_rows: int = 4096
+    groupby_cols: int = 8
+    join_memory_bits: int = 4 * 1024 * 1024 * 8
+    join_hashes: int = 3
+    join_variant: str = "bf"
+    having_width: int = 1024
+    having_depth: int = 3
+    skyline_points: int = 10
+    skyline_score: str = "aph"
+    worker_assist_filters: bool = False
+    seed: int = 0
+    model: ResourceModel = TOFINO
+    validate_resources: bool = True
+
+
+class Cluster:
+    """A rack of workers behind one Cheetah switch, plus a master."""
+
+    def __init__(self, workers: int = 5, config: Optional[ClusterConfig] = None) -> None:
+        if workers <= 0:
+            raise PlanError(f"need at least one worker, got {workers}")
+        self.workers = workers
+        self.config = config or ClusterConfig()
+
+    # -- public API ----------------------------------------------------------
+
+    def run(
+        self, query: Query, tables: TableMap, use_cheetah: bool = True
+    ) -> RunResult:
+        """Execute ``query`` with or without switch pruning.
+
+        Without Cheetah the same streaming path runs with a passthrough
+        pruner, so volumes reflect the software baseline's data movement.
+        """
+        operator = query.operator
+        if isinstance(operator, JoinOp):
+            return self._run_join(query, tables, use_cheetah)
+        if isinstance(operator, HavingOp):
+            return self._run_having(query, tables, use_cheetah)
+        if isinstance(operator, SkylineOp):
+            return self._run_skyline(query, tables, use_cheetah)
+        return self._run_single_pass(query, tables, use_cheetah)
+
+    def run_verified(self, query: Query, tables: TableMap) -> RunResult:
+        """Run with Cheetah and assert the pruning contract against reference."""
+        result = self.run(query, tables, use_cheetah=True)
+        expected = run_reference(query, tables)
+        if result.output != expected:
+            raise AssertionError(
+                f"pruning contract violated for {query.describe()}: "
+                f"got {result.output!r}, expected {expected!r}"
+            )
+        return result
+
+    def run_packed(
+        self, queries: Sequence[Query], tables: TableMap
+    ) -> "PackedRunResult":
+        """Run several single-pass queries over ONE streaming pass (§6).
+
+        All queries must scan the same table with single-pass operators
+        (filter/COUNT, DISTINCT, TOP N, GROUP BY) and no separate WHERE.
+        The switch evaluates every query's pruner on each entry, yielding
+        one prune/no-prune bit per query; the packet is forwarded if any
+        query needs it, and the master completes each query from the
+        entries forwarded *for it*.  The combined footprint is validated
+        with the §6 packing before anything runs.
+        """
+        if not queries:
+            raise PlanError("run_packed needs at least one query")
+        ops = [q.operator for q in queries]
+        if any(q.where is not None for q in queries):
+            raise PlanError("packed queries must fold WHERE into the operator")
+        if any(isinstance(op, (JoinOp, HavingOp, SkylineOp)) for op in ops):
+            raise PlanError(
+                "packed execution supports single-pass operators only "
+                "(filter/COUNT, DISTINCT, TOP N, GROUP BY)"
+            )
+        table_names = {op.table for op in ops}
+        if len(table_names) != 1:
+            raise PlanError(
+                f"packed queries must scan one table, got {sorted(table_names)}"
+            )
+        table = tables[ops[0].table]
+        columns: List[str] = []
+        for query in queries:
+            for column in query.stream_columns():
+                if column not in columns:
+                    columns.append(column)
+        pruners = [self._build_pruner(q, tables, columns=columns) for q in queries]
+        if self.config.validate_resources:
+            from ..switch.compiler import pack
+
+            pack([p.footprint() for p in pruners], self.config.model)
+        phase = PhaseVolume("packed-stream")
+        per_query: List[List[Tuple[int, Tuple]]] = [[] for _ in queries]
+        row_base = 0
+        for part in self._partitions(table):
+            for offset, payload in enumerate(part.iter_rows(columns)):
+                phase.streamed += 1
+                any_forward = False
+                for i, (query, pruner) in enumerate(zip(queries, pruners)):
+                    entry = self._payload_to_entry(query.operator, columns, payload)
+                    if pruner.process(entry) is PruneDecision.FORWARD:
+                        any_forward = True
+                        per_query[i].append((row_base + offset, payload))
+                if any_forward:
+                    phase.forwarded += 1
+            row_base += part.num_rows
+        results = []
+        for query, pruner, survivors in zip(queries, pruners, per_query):
+            output = self._complete_single_pass(query, columns, survivors, pruner)
+            results.append(
+                RunResult(
+                    query=query.describe(),
+                    output=output,
+                    phases=[phase],
+                    used_cheetah=True,
+                    workers=self.workers,
+                    op_kind=_op_kind(query.operator),
+                )
+            )
+        return PackedRunResult(results=results, phase=phase)
+
+    # -- shared plumbing -------------------------------------------------------
+
+    def _filtered_table(self, query: Query, tables: TableMap) -> Table:
+        table = tables[query.operator.table]
+        return table
+
+    def _partitions(self, table: Table) -> List[Table]:
+        return table.partition(self.workers)
+
+    def _where_columns(self, query: Query) -> List[str]:
+        return query.where.columns() if query.where is not None else []
+
+    def _where_keep(self, query: Query, columns: Sequence[str], entry: Tuple) -> bool:
+        """Full (master-side) WHERE check on a streamed entry."""
+        if query.where is None:
+            return True
+        formula = query.where.to_formula(columns)
+        return formula.evaluate(entry)
+
+    def _build_pruner(
+        self, query: Query, tables: TableMap, columns: Optional[Sequence[str]] = None
+    ) -> Pruner:
+        """Instantiate the pruner for the primary operator.
+
+        ``columns`` overrides the payload layout (used by the packed
+        multi-query path, where several queries share one wider stream).
+        """
+        op = query.operator
+        cfg = self.config
+        if isinstance(op, (CountOp, FilterOp)):
+            if columns is None:
+                columns = query.stream_columns()
+            formula = op.predicate.to_formula(columns)
+            if query.where is not None:
+                formula = formula & query.where.to_formula(columns)
+            return FilterPruner(formula, worker_assist=cfg.worker_assist_filters)
+        if isinstance(op, DistinctOp):
+            if cfg.distinct_fingerprint:
+                return FingerprintDistinctPruner(
+                    rows=cfg.distinct_rows,
+                    cols=cfg.distinct_cols,
+                    delta=cfg.distinct_delta,
+                    policy=cfg.distinct_policy,
+                    seed=cfg.seed,
+                    model=cfg.model,
+                )
+            return DistinctPruner(
+                rows=cfg.distinct_rows,
+                cols=cfg.distinct_cols,
+                policy=cfg.distinct_policy,
+                seed=cfg.seed,
+                model=cfg.model,
+            )
+        if isinstance(op, TopNOp):
+            if cfg.topn_randomized:
+                return TopNRandomizedPruner(
+                    n=op.n,
+                    rows=cfg.topn_rows,
+                    cols=cfg.topn_cols,
+                    delta=cfg.topn_delta,
+                    seed=cfg.seed,
+                )
+            return TopNDeterministicPruner(n=op.n, thresholds=cfg.topn_thresholds)
+        if isinstance(op, GroupByOp):
+            return GroupByPruner(
+                aggregate=op.aggregate,
+                rows=cfg.groupby_rows,
+                cols=cfg.groupby_cols,
+                seed=cfg.seed,
+            )
+        raise PlanError(f"no single-pass pruner for {type(op).__name__}")
+
+    def _maybe_validate(self, pruner: Pruner) -> None:
+        if self.config.validate_resources:
+            pruner.validate(self.config.model)
+
+    def _build_where_stage(
+        self, query: Query, columns: Sequence[str]
+    ) -> Optional[FilterPruner]:
+        """The packed pre-filter stage for a stateful primary operator.
+
+        A WHERE-violating row must not reach a stateful pruner (it could
+        shadow a passing row in a DISTINCT/GROUP BY cache).  A fully
+        switch-supported WHERE filters exactly; unsupported predicates
+        require worker assist (the CWorker computes them and ships the
+        result bit, §4.1) — without it we refuse rather than risk a wrong
+        answer.
+        """
+        op = query.operator
+        if query.where is None or isinstance(op, (CountOp, FilterOp)):
+            return None
+        formula = query.where.to_formula(columns)
+        has_unsupported = any(not atom.supported for atom in formula.atoms())
+        if has_unsupported and not self.config.worker_assist_filters:
+            raise PlanError(
+                "WHERE contains switch-unsupported predicates before a stateful "
+                "operator; enable ClusterConfig.worker_assist_filters"
+            )
+        return FilterPruner(formula, worker_assist=self.config.worker_assist_filters)
+
+    # -- single-pass operators -------------------------------------------------
+
+    def _run_single_pass(
+        self, query: Query, tables: TableMap, use_cheetah: bool
+    ) -> RunResult:
+        op = query.operator
+        table = tables[op.table]
+        columns = query.stream_columns()
+        pruner: Pruner = (
+            self._build_pruner(query, tables) if use_cheetah else PassthroughPruner()
+        )
+        self._maybe_validate(pruner)
+        where_pruner = (
+            self._build_where_stage(query, columns) if use_cheetah else None
+        )
+        phase = PhaseVolume("stream")
+        survivors: List[Tuple[int, Tuple]] = []  # (row_id, payload)
+        row_base = 0
+        for part in self._partitions(table):
+            for offset, payload in enumerate(part.iter_rows(columns)):
+                phase.streamed += 1
+                # The packed filter stage (§6) runs first, so WHERE-violating
+                # rows never pollute the stateful operator's caches.
+                if (
+                    where_pruner is not None
+                    and where_pruner.process(payload) is PruneDecision.PRUNE
+                ):
+                    continue
+                entry = self._payload_to_entry(op, columns, payload)
+                if pruner.process(entry) is PruneDecision.FORWARD:
+                    phase.forwarded += 1
+                    survivors.append((row_base + offset, payload))
+            row_base += part.num_rows
+        output = self._complete_single_pass(query, columns, survivors, pruner)
+        return RunResult(
+            query=query.describe(),
+            output=output,
+            phases=[phase],
+            used_cheetah=use_cheetah,
+            workers=self.workers,
+            op_kind=_op_kind(op),
+        )
+
+    def _payload_to_entry(self, op, columns: Sequence[str], payload: Tuple):
+        """Map the streamed payload to the pruner's entry shape."""
+        if isinstance(op, (CountOp, FilterOp)):
+            return payload
+        if isinstance(op, DistinctOp):
+            if len(op.columns) == 1:
+                return payload[columns.index(op.columns[0])]
+            return tuple(payload[columns.index(c)] for c in op.columns)
+        if isinstance(op, TopNOp):
+            value = float(payload[columns.index(op.order_by)])
+            # Ascending order ("bottom N") negates into the max-domain
+            # the pruners are built for.
+            return value if op.descending else -value
+        if isinstance(op, GroupByOp):
+            return (
+                payload[columns.index(op.key)],
+                float(payload[columns.index(op.value)]),
+            )
+        raise PlanError(f"no entry mapping for {type(op).__name__}")
+
+    def _complete_single_pass(
+        self,
+        query: Query,
+        columns: Sequence[str],
+        survivors: List[Tuple[int, Tuple]],
+        pruner: Pruner,
+    ) -> object:
+        """The CMaster's completion step for single-pass operators."""
+        op = query.operator
+        if isinstance(op, (CountOp, FilterOp)):
+            formula = op.predicate.to_formula(columns)
+            kept = [
+                (row_id, payload)
+                for row_id, payload in survivors
+                if formula.evaluate(payload)
+                and self._where_keep(query, columns, payload)
+            ]
+            if isinstance(op, CountOp):
+                return len(kept)
+            return {row_id for row_id, _ in kept}
+        kept_payloads = [
+            payload
+            for _, payload in survivors
+            if self._where_keep(query, columns, payload)
+        ]
+        if isinstance(op, DistinctOp):
+            entries = [
+                self._payload_to_entry(op, columns, payload)
+                for payload in kept_payloads
+            ]
+            return set(entries)
+        if isinstance(op, TopNOp):
+            values = [
+                self._payload_to_entry(op, columns, payload)
+                for payload in kept_payloads
+            ]
+            top = master_topn(values, op.n)
+            return top if op.descending else [-v for v in top]
+        if isinstance(op, GroupByOp):
+            entries = [
+                self._payload_to_entry(op, columns, payload)
+                for payload in kept_payloads
+            ]
+            return master_groupby(entries, op.aggregate)
+        raise PlanError(f"no completion for {type(op).__name__}")
+
+    # -- JOIN: two passes --------------------------------------------------------
+
+    def _run_join(self, query: Query, tables: TableMap, use_cheetah: bool) -> RunResult:
+        op = query.operator
+        assert isinstance(op, JoinOp)
+        if query.where is not None:
+            raise PlanError("pre-filtered JOIN is not modeled; filter the table first")
+        left = tables[op.table]
+        right = tables[op.right_table]
+        left_keys = left.column(op.left_on).tolist()
+        right_keys = right.column(op.right_on).tolist()
+        phases = []
+        if use_cheetah:
+            pruner = JoinPruner(
+                left=op.table,
+                right=op.right_table,
+                memory_bits=self.config.join_memory_bits,
+                hashes=self.config.join_hashes,
+                variant=self.config.join_variant,
+                seed=self.config.seed,
+            )
+            self._maybe_validate(pruner)
+            build = PhaseVolume("join-build", streamed=len(left_keys) + len(right_keys))
+            pruner.build(left_keys, right_keys)
+            phases.append(build)
+            probe = PhaseVolume("join-probe")
+            left_survivors: List = []
+            right_survivors: List = []
+            for key in left_keys:
+                probe.streamed += 1
+                if pruner.process((op.table, key)) is PruneDecision.FORWARD:
+                    probe.forwarded += 1
+                    left_survivors.append(key)
+            for key in right_keys:
+                probe.streamed += 1
+                if pruner.process((op.right_table, key)) is PruneDecision.FORWARD:
+                    probe.forwarded += 1
+                    right_survivors.append(key)
+            phases.append(probe)
+        else:
+            stream = PhaseVolume(
+                "join-stream",
+                streamed=len(left_keys) + len(right_keys),
+                forwarded=len(left_keys) + len(right_keys),
+            )
+            phases.append(stream)
+            left_survivors, right_survivors = left_keys, right_keys
+        left_counts = Counter(left_survivors)
+        right_counts = Counter(right_survivors)
+        output = Counter(
+            {
+                key: left_counts[key] * right_counts[key]
+                for key in left_counts
+                if key in right_counts
+            }
+        )
+        return RunResult(
+            query=query.describe(),
+            output=output,
+            phases=phases,
+            used_cheetah=use_cheetah,
+            workers=self.workers,
+            op_kind=_op_kind(op),
+        )
+
+    # -- HAVING: sketch pass + partial second pass --------------------------------
+
+    def _run_having(
+        self, query: Query, tables: TableMap, use_cheetah: bool
+    ) -> RunResult:
+        op = query.operator
+        assert isinstance(op, HavingOp)
+        table = tables[op.table]
+        if query.where is not None:
+            table = table.mask(query.where.mask(table))
+        keys = table.column(op.key).tolist()
+        values = table.column(op.value).tolist()
+        data = list(zip(keys, values))
+        phases = []
+        if use_cheetah:
+            pruner = HavingPruner(
+                threshold=op.threshold,
+                aggregate=op.aggregate,
+                width=self.config.having_width,
+                depth=self.config.having_depth,
+                seed=self.config.seed,
+            )
+            self._maybe_validate(pruner)
+            sketch_pass = PhaseVolume("having-sketch")
+            candidates: Set = set()
+            for entry in data:
+                sketch_pass.streamed += 1
+                if pruner.process(entry) is PruneDecision.FORWARD:
+                    sketch_pass.forwarded += 1
+                    candidates.add(entry[0])
+            phases.append(sketch_pass)
+            # Partial second pass: only entries of candidate keys re-stream.
+            second = PhaseVolume("having-refetch")
+            second.streamed = sum(1 for key, _ in data if key in candidates)
+            second.forwarded = second.streamed
+            phases.append(second)
+            output = set(
+                master_having(candidates, data, op.threshold, op.aggregate)
+            )
+        else:
+            stream = PhaseVolume(
+                "having-stream", streamed=len(data), forwarded=len(data)
+            )
+            phases.append(stream)
+            output = set(
+                master_having((key for key, _ in data), data, op.threshold, op.aggregate)
+            )
+        return RunResult(
+            query=query.describe(),
+            output=output,
+            phases=phases,
+            used_cheetah=use_cheetah,
+            workers=self.workers,
+            op_kind=_op_kind(op),
+        )
+
+    # -- SKYLINE: stream + drain -------------------------------------------------
+
+    def _run_skyline(
+        self, query: Query, tables: TableMap, use_cheetah: bool
+    ) -> RunResult:
+        op = query.operator
+        assert isinstance(op, SkylineOp)
+        table = tables[op.table]
+        if query.where is not None:
+            table = table.mask(query.where.mask(table))
+        columns = list(op.columns)
+        points = [
+            tuple(float(v) for v in payload) for payload in table.iter_rows(columns)
+        ]
+        phase = PhaseVolume("skyline-stream")
+        received: List[Tuple[float, ...]] = []
+        if use_cheetah:
+            pruner = SkylinePruner(
+                dims=len(columns),
+                points=self.config.skyline_points,
+                score=self.config.skyline_score,
+            )
+            self._maybe_validate(pruner)
+            for point in points:
+                phase.streamed += 1
+                if pruner.process(point) is PruneDecision.FORWARD:
+                    phase.forwarded += 1
+                    carried = pruner.last_carried
+                    assert carried is not None
+                    received.append(carried)
+            drained = pruner.drain()
+            received.extend(drained)
+            phase.forwarded += len(drained)
+        else:
+            phase.streamed = len(points)
+            phase.forwarded = len(points)
+            received = points
+        output = set(master_skyline(received))
+        return RunResult(
+            query=query.describe(),
+            output=output,
+            phases=[phase],
+            used_cheetah=use_cheetah,
+            workers=self.workers,
+            op_kind=_op_kind(op),
+        )
+
+
+def _op_kind(op) -> str:
+    """Short operator-kind tag used by the cost model."""
+    mapping = {
+        CountOp: "filter",
+        FilterOp: "filter",
+        DistinctOp: "distinct",
+        TopNOp: "topn",
+        GroupByOp: "groupby",
+        HavingOp: "having",
+        JoinOp: "join",
+        SkylineOp: "skyline",
+    }
+    return mapping[type(op)]

@@ -1,0 +1,119 @@
+"""Late materialization: the second round of data movement (paper Fig. 3).
+
+Spark-style plans first run the query on a *metadata stream* (only the
+columns the query conditions on), then the master requests the full rows
+of the matching entries and the workers ship them back — compressed and
+MTU-packed, because this fetch leg does not pass through the pruning
+dataplane.  Cheetah accelerates only the metadata pass: "the switch
+pruning only occurs in the first round of data movement ... and does not
+interfere with the late materialization stage."
+
+:class:`FetchModel` prices that second leg so end-to-end comparisons can
+include it; since the fetch is identical with and without Cheetah, it
+adds the same constant to both systems — which is why the paper's
+relative improvements are computed on the metadata pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..errors import ConfigurationError
+from .table import Table
+
+
+@dataclass(frozen=True)
+class FetchModel:
+    """Cost/volume model of the late-materialization fetch.
+
+    Parameters
+    ----------
+    bytes_per_row:
+        Uncompressed width of a full row.
+    compression_ratio:
+        Fetch traffic is compressed (unlike Cheetah's switch-readable
+        metadata packets); 0.4 means the wire carries 40% of raw bytes.
+    mtu_bytes:
+        Rows are packed into MTU-sized frames, many rows per packet.
+    network_gbps:
+        Link rate toward the master.
+    request_bytes_per_row:
+        The master's row-id request traffic (ids are small).
+    """
+
+    bytes_per_row: int = 256
+    compression_ratio: float = 0.4
+    mtu_bytes: int = 1500
+    network_gbps: float = 10.0
+    request_bytes_per_row: int = 8
+
+    def __post_init__(self) -> None:
+        if self.bytes_per_row <= 0 or self.mtu_bytes <= 0:
+            raise ConfigurationError("row and MTU sizes must be positive")
+        if not 0.0 < self.compression_ratio <= 1.0:
+            raise ConfigurationError(
+                f"compression ratio must be in (0, 1], got {self.compression_ratio}"
+            )
+        if self.network_gbps <= 0:
+            raise ConfigurationError("network rate must be positive")
+
+    def wire_bytes(self, rows: int) -> int:
+        """Bytes on the wire to fetch ``rows`` full rows (both directions)."""
+        if rows < 0:
+            raise ConfigurationError(f"row count cannot be negative: {rows}")
+        request = rows * self.request_bytes_per_row
+        payload = int(rows * self.bytes_per_row * self.compression_ratio)
+        # MTU packing: ceil to whole frames for the payload direction.
+        frames = -(-payload // self.mtu_bytes) if payload else 0
+        return request + frames * self.mtu_bytes
+
+    def packets(self, rows: int) -> int:
+        """Frames used by the fetch payload."""
+        payload = int(rows * self.bytes_per_row * self.compression_ratio)
+        return -(-payload // self.mtu_bytes) if payload else 0
+
+    def fetch_seconds(self, rows: int) -> float:
+        """Wire time of the fetch leg."""
+        return self.wire_bytes(rows) * 8 / (self.network_gbps * 1e9)
+
+
+def materialize_rows(table: Table, row_ids: Sequence[int]) -> Table:
+    """The workers' side of the fetch: full rows for the requested ids.
+
+    This is the actual data operation (not just a cost): given the
+    metadata pass's surviving row ids, return the full-width rows the
+    master materializes the output from.
+    """
+    import numpy as np
+
+    ids = np.asarray(sorted(set(int(i) for i in row_ids)), dtype=int)
+    if len(ids) and (ids[0] < 0 or ids[-1] >= table.num_rows):
+        raise ConfigurationError(
+            f"row ids out of range [0, {table.num_rows}): "
+            f"{ids[0]}..{ids[-1]}"
+        )
+    return table.take(ids)
+
+
+def fetch_plan_summary(
+    metadata_streamed: int,
+    metadata_forwarded: int,
+    fetched_rows: int,
+    model: FetchModel,
+) -> Dict[str, float]:
+    """Both legs of a late-materialized query, as comparable numbers.
+
+    The metadata pass moves ``metadata_streamed`` switch-readable entries
+    (64 B minimum frames); the fetch moves ``fetched_rows`` compressed
+    full rows.  The returned dict feeds benchmark tables.
+    """
+    metadata_bytes = metadata_streamed * 64
+    return {
+        "metadata_entries": float(metadata_streamed),
+        "metadata_survivors": float(metadata_forwarded),
+        "metadata_bytes": float(metadata_bytes),
+        "fetch_rows": float(fetched_rows),
+        "fetch_bytes": float(model.wire_bytes(fetched_rows)),
+        "fetch_seconds": model.fetch_seconds(fetched_rows),
+    }

@@ -1,0 +1,199 @@
+"""Columnar tables with partitioning — the engine's storage substrate.
+
+A :class:`Table` stores named numpy columns (numeric or object dtype for
+strings), mirroring the columnar, memory-optimized layout the paper
+credits Spark SQL with.  Workers receive :meth:`Table.partition` slices;
+late materialization streams only the queried columns (:meth:`project`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import PlanError
+
+
+class Table:
+    """An immutable named collection of equal-length columns."""
+
+    def __init__(self, name: str, columns: Dict[str, np.ndarray]) -> None:
+        if not columns:
+            raise PlanError(f"table {name!r} needs at least one column")
+        lengths = {len(array) for array in columns.values()}
+        if len(lengths) != 1:
+            raise PlanError(
+                f"table {name!r} has ragged columns: lengths {sorted(lengths)}"
+            )
+        self.name = name
+        self._columns = {key: np.asarray(value) for key, value in columns.items()}
+        self.num_rows = lengths.pop()
+
+    @classmethod
+    def from_rows(
+        cls, name: str, column_names: Sequence[str], rows: Sequence[Sequence]
+    ) -> "Table":
+        """Build a table from row tuples (used by tests and examples)."""
+        columns: Dict[str, list] = {col: [] for col in column_names}
+        for row in rows:
+            if len(row) != len(column_names):
+                raise PlanError(
+                    f"row has {len(row)} fields, expected {len(column_names)}"
+                )
+            for col, value in zip(column_names, row):
+                columns[col].append(value)
+        return cls(name, {col: np.array(vals) for col, vals in columns.items()})
+
+    @property
+    def column_names(self) -> List[str]:
+        """Column names in insertion order."""
+        return list(self._columns)
+
+    def column(self, name: str) -> np.ndarray:
+        """One column by name."""
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise PlanError(
+                f"table {self.name!r} has no column {name!r}; "
+                f"available: {self.column_names}"
+            ) from None
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.column(name)
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._columns
+
+    def project(self, names: Sequence[str]) -> "Table":
+        """Keep only ``names`` — the metadata stream of late materialization."""
+        return Table(self.name, {name: self.column(name) for name in names})
+
+    def mask(self, keep: np.ndarray) -> "Table":
+        """Row subset by boolean mask."""
+        if len(keep) != self.num_rows:
+            raise PlanError(
+                f"mask length {len(keep)} != table rows {self.num_rows}"
+            )
+        return Table(self.name, {k: v[keep] for k, v in self._columns.items()})
+
+    def take(self, indexes: np.ndarray) -> "Table":
+        """Row subset by index array (used for fetch-by-row-id)."""
+        return Table(self.name, {k: v[indexes] for k, v in self._columns.items()})
+
+    def shuffled(self, seed: int = 0) -> "Table":
+        """Random row permutation (the paper permutes nearly sorted inputs)."""
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(self.num_rows)
+        return self.take(order)
+
+    def head(self, n: int) -> "Table":
+        """First ``n`` rows (data-scale prefixes for Fig. 11)."""
+        return Table(self.name, {k: v[:n] for k, v in self._columns.items()})
+
+    def partition(self, parts: int) -> List["Table"]:
+        """Split into ``parts`` contiguous partitions, one per worker."""
+        if parts <= 0:
+            raise PlanError(f"need at least one partition, got {parts}")
+        bounds = np.linspace(0, self.num_rows, parts + 1, dtype=int)
+        return [
+            Table(
+                f"{self.name}[{i}]",
+                {k: v[bounds[i] : bounds[i + 1]] for k, v in self._columns.items()},
+            )
+            for i in range(parts)
+        ]
+
+    def iter_rows(self, names: Sequence[str]) -> Iterator[Tuple]:
+        """Stream rows of the projected columns as tuples.
+
+        This is the CWorker's view: one entry per packet, only the columns
+        the query conditions on.
+        """
+        arrays = [self.column(name) for name in names]
+        for i in range(self.num_rows):
+            yield tuple(array[i] for array in arrays)
+
+    def rows(self, names: Sequence[str]) -> List[Tuple]:
+        """Materialized :meth:`iter_rows`."""
+        return list(self.iter_rows(names))
+
+    def concat(self, other: "Table") -> "Table":
+        """Row-wise concatenation with matching schemas."""
+        if set(self.column_names) != set(other.column_names):
+            raise PlanError(
+                f"cannot concat {self.name!r} and {other.name!r}: schema mismatch"
+            )
+        return Table(
+            self.name,
+            {
+                k: np.concatenate([self._columns[k], other.column(k)])
+                for k in self.column_names
+            },
+        )
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, rows={self.num_rows}, cols={self.column_names})"
+
+
+def table_to_csv(table: "Table", path: str) -> None:
+    """Write a table to CSV (header row = column names).
+
+    Numeric columns render plainly; everything round-trips through
+    :func:`table_from_csv` with automatic type inference.
+    """
+    import csv
+
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(table.column_names)
+        for row in table.iter_rows(table.column_names):
+            writer.writerow(row)
+
+
+def table_from_csv(path: str, name: str = "table") -> "Table":
+    """Load a table from CSV, inferring int/float/str column types.
+
+    A column is int if every value parses as int, else float if every
+    value parses as float, else kept as strings.  This is the entry point
+    for running Cheetah queries over user-supplied data files.
+    """
+    import csv
+
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise PlanError(f"CSV file {path!r} is empty") from None
+        rows = [row for row in reader if row]
+    if not header:
+        raise PlanError(f"CSV file {path!r} has no columns")
+    for i, row in enumerate(rows):
+        if len(row) != len(header):
+            raise PlanError(
+                f"CSV row {i + 2} has {len(row)} fields, expected {len(header)}"
+            )
+    columns = {}
+    for index, column in enumerate(header):
+        raw = [row[index] for row in rows]
+        columns[column] = np.array(_infer_column(raw))
+    if not rows:
+        columns = {column: np.array([]) for column in header}
+    return Table(name, columns)
+
+
+def _infer_column(raw):
+    """Best-effort typed conversion: int, then float, then str."""
+    try:
+        return [int(value) for value in raw]
+    except ValueError:
+        pass
+    try:
+        return [float(value) for value in raw]
+    except ValueError:
+        return raw

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the Cheetah reproduction.
+
+All library-raised exceptions derive from :class:`CheetahError` so callers
+can catch a single type at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class CheetahError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ResourceError(CheetahError):
+    """A switch program does not fit the hardware resource model.
+
+    Raised by the compiler when a pruner configuration exceeds the number
+    of stages, ALUs per stage, SRAM, TCAM entries, or PHV bits of the
+    target :class:`repro.switch.resources.ResourceModel`.
+    """
+
+
+class UnsupportedOperationError(CheetahError):
+    """An operation is not expressible in the switch's function set.
+
+    The PISA model supports hashing, comparisons, addition and bit
+    operations; multiplication, division, string matching and similar
+    operations raise this error when attempted on the simulated dataplane.
+    """
+
+
+class ConfigurationError(CheetahError):
+    """A pruner or engine component was configured with invalid parameters."""
+
+
+class ProtocolError(CheetahError):
+    """The reliability protocol observed an impossible state transition."""
+
+
+class PlanError(CheetahError):
+    """A logical query plan is malformed or references unknown columns."""

@@ -1,0 +1,13 @@
+"""The paper's §9 extensions: multi-entry packets, switch trees, worker DAGs."""
+
+from .dag import EdgePruning, EdgeReport, WorkerDag
+from .multientry import MultiEntryPruner
+from .multiswitch import SwitchTree
+
+__all__ = [
+    "EdgePruning",
+    "EdgeReport",
+    "WorkerDag",
+    "MultiEntryPruner",
+    "SwitchTree",
+]

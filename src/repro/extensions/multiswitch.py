@@ -1,0 +1,97 @@
+"""Multiple switches in the data path (paper §9).
+
+A "master switch" partitions the stream across leaf switches; each leaf
+prunes its partition with its own resources, and the master switch prunes
+the merged survivor stream further.  This multiplies the hardware at
+Cheetah's disposal: a two-level tree with ``L`` leaves has ``L + 1``
+pipelines of state.
+
+Correctness is inherited: every Cheetah pruner is superset-safe, so
+composing pruners in series (leaf then root) can only forward a superset
+of what a single ideal pruner would, never lose an output entry —
+provided each level's pruner is individually correct for the query.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, List, Optional, Sequence
+
+from ..core.base import Entry, PruneDecision, Pruner, PruneStats
+from ..errors import ConfigurationError
+from ..sketches.hashing import Hashable, hash_range
+
+
+class SwitchTree(Generic[Entry]):
+    """A two-level pruning hierarchy: leaf switches under a root switch.
+
+    Parameters
+    ----------
+    leaves:
+        One pruner per leaf switch (independent state).
+    root:
+        The master switch's pruner, applied to leaf survivors.
+    partition:
+        Maps an entry to a leaf index.  Defaults to hashing, which keeps
+        same-key entries on one leaf — required for DISTINCT/GROUP BY
+        leaf pruners to be individually correct.
+    """
+
+    def __init__(
+        self,
+        leaves: Sequence[Pruner[Entry]],
+        root: Pruner[Entry],
+        partition: Optional[Callable[[Entry], int]] = None,
+    ) -> None:
+        if not leaves:
+            raise ConfigurationError("a switch tree needs at least one leaf")
+        self.leaves = list(leaves)
+        self.root = root
+        self._partition = partition or self._hash_partition
+        self.stats = PruneStats()
+        self.leaf_pruned = 0
+        self.root_pruned = 0
+
+    def _hash_partition(self, entry: Entry) -> int:
+        return hash_range(entry, len(self.leaves), seed=0x7EAF)
+
+    def process(self, entry: Entry) -> PruneDecision:
+        """Route through the partition's leaf, then the root."""
+        leaf_index = self._partition(entry)
+        if not 0 <= leaf_index < len(self.leaves):
+            raise ConfigurationError(
+                f"partition function returned leaf {leaf_index}, "
+                f"have {len(self.leaves)} leaves"
+            )
+        if self.leaves[leaf_index].process(entry) is PruneDecision.PRUNE:
+            self.leaf_pruned += 1
+            self.stats.record(PruneDecision.PRUNE)
+            return PruneDecision.PRUNE
+        decision = self.root.process(entry)
+        if decision is PruneDecision.PRUNE:
+            self.root_pruned += 1
+        self.stats.record(decision)
+        return decision
+
+    def survivors(self, entries: Sequence[Entry]) -> List[Entry]:
+        """Forwarded entries of a stream."""
+        return [
+            entry
+            for entry in entries
+            if self.process(entry) is PruneDecision.FORWARD
+        ]
+
+    def reset(self) -> None:
+        """Clear all switches' state."""
+        for leaf in self.leaves:
+            leaf.reset()
+        self.root.reset()
+        self.stats = PruneStats()
+        self.leaf_pruned = 0
+        self.root_pruned = 0
+
+    @property
+    def total_state_cells(self) -> int:
+        """Aggregate SRAM bits across the tree (the §9 resource argument)."""
+        return sum(leaf.footprint().sram_bits for leaf in self.leaves) + (
+            self.root.footprint().sram_bits
+        )

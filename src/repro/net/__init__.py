@@ -1,0 +1,43 @@
+"""Transport substrate: Cheetah packet formats and the reliability protocol."""
+
+from .packets import (
+    ACK_FROM_MASTER,
+    ACK_FROM_SWITCH,
+    FLAG_FIN,
+    FLAG_RETRANSMIT,
+    MAX_VALUES,
+    CheetahAck,
+    CheetahPacket,
+)
+from .reliability import (
+    GilbertElliottLink,
+    LossyLink,
+    MultiFlowTransfer,
+    ReliableTransfer,
+    SwitchReliabilityState,
+    TransferStats,
+    packets_for,
+)
+from .services import CMaster, CWorker, FlowState, ValueCodec, stream_query_columns
+
+__all__ = [
+    "ACK_FROM_MASTER",
+    "ACK_FROM_SWITCH",
+    "FLAG_FIN",
+    "FLAG_RETRANSMIT",
+    "MAX_VALUES",
+    "CheetahAck",
+    "CheetahPacket",
+    "GilbertElliottLink",
+    "LossyLink",
+    "MultiFlowTransfer",
+    "ReliableTransfer",
+    "SwitchReliabilityState",
+    "TransferStats",
+    "packets_for",
+    "CMaster",
+    "CWorker",
+    "FlowState",
+    "ValueCodec",
+    "stream_query_columns",
+]

@@ -1,0 +1,168 @@
+"""Bloom filters as used by Cheetah's JOIN pruner (paper §4.3, Fig. 10e).
+
+Two variants are provided:
+
+* :class:`BloomFilter` — the textbook structure: ``m`` bits, ``h``
+  independent hash functions.  Matches the paper's "BF" line.
+* :class:`RegisterBloomFilter` — the paper's "RBF" variant built for
+  switches where a stage exposes word-wide registers: one hash selects a
+  64-bit register and the element sets ``h`` bit positions *inside* that
+  word (positions derived from a second hash).  It needs a single stage
+  and one ALU, at the cost of slightly more false positives.
+
+Both guarantee **no false negatives**, the property JOIN pruning relies
+on for correctness: a pruned entry provably has no match in the other
+table.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from ..errors import ConfigurationError
+from .hashing import Hashable, hash64, hash_family, hash_range
+
+_WORD_BITS = 64
+
+
+class BloomFilter:
+    """Standard Bloom filter over ``size_bits`` bits with ``hashes`` probes.
+
+    Parameters
+    ----------
+    size_bits:
+        Total number of filter bits (``m``).  The paper sweeps 1-16 MB;
+        pass e.g. ``4 * 2**20 * 8`` for 4 MB.
+    hashes:
+        Number of hash functions (``H``); the paper defaults to 3.
+    seed:
+        Base seed for the hash family, for reproducible layouts.
+    """
+
+    def __init__(self, size_bits: int, hashes: int = 3, seed: int = 0) -> None:
+        if size_bits <= 0:
+            raise ConfigurationError(f"filter size must be positive, got {size_bits}")
+        if hashes <= 0:
+            raise ConfigurationError(f"need at least one hash, got {hashes}")
+        self.size_bits = size_bits
+        self.hashes = hashes
+        self._hash_fns = hash_family(hashes, size_bits, base_seed=seed)
+        self._words = bytearray((size_bits + 7) // 8)
+        self._inserted = 0
+
+    def add(self, value: Hashable) -> None:
+        """Insert ``value`` into the filter."""
+        for fn in self._hash_fns:
+            index = fn(value)
+            self._words[index >> 3] |= 1 << (index & 7)
+        self._inserted += 1
+
+    def __contains__(self, value: Hashable) -> bool:
+        return all(
+            self._words[fn(value) >> 3] & (1 << (fn(value) & 7)) for fn in self._hash_fns
+        )
+
+    def update(self, values: Iterable[Hashable]) -> None:
+        """Insert every value of an iterable."""
+        for value in values:
+            self.add(value)
+
+    def clear(self) -> None:
+        """Reset the filter to empty (switch reboot / new query)."""
+        for i in range(len(self._words)):
+            self._words[i] = 0
+        self._inserted = 0
+
+    @property
+    def inserted(self) -> int:
+        """Number of ``add`` calls (duplicates included)."""
+        return self._inserted
+
+    def fill_ratio(self) -> float:
+        """Fraction of set bits, an observable FP-rate proxy."""
+        set_bits = sum(bin(b).count("1") for b in self._words)
+        return set_bits / self.size_bits
+
+    def false_positive_rate(self) -> float:
+        """Theoretical FP rate ``(1 - e^{-hn/m})^h`` for current load."""
+        exponent = -self.hashes * self._inserted / self.size_bits
+        return (1.0 - math.exp(exponent)) ** self.hashes
+
+    @staticmethod
+    def bits_for(expected_items: int, target_fp: float) -> int:
+        """Bits needed for ``expected_items`` at ``target_fp`` (optimal h)."""
+        if expected_items <= 0:
+            raise ConfigurationError("expected_items must be positive")
+        if not 0.0 < target_fp < 1.0:
+            raise ConfigurationError("target_fp must be in (0, 1)")
+        return math.ceil(-expected_items * math.log(target_fp) / (math.log(2) ** 2))
+
+
+class RegisterBloomFilter:
+    """Blocked ("register") Bloom filter: one word per element.
+
+    A first hash picks one of the ``size_bits / 64`` registers; a second
+    hash derives ``hashes`` bit positions inside that 64-bit word.  A
+    membership probe therefore touches a single register — one stage and
+    one ALU on the switch (Table 2's RBF row) — versus ``H`` scattered
+    reads for the standard filter.
+    """
+
+    def __init__(self, size_bits: int, hashes: int = 3, seed: int = 0) -> None:
+        if size_bits < _WORD_BITS:
+            raise ConfigurationError(
+                f"register filter needs at least {_WORD_BITS} bits, got {size_bits}"
+            )
+        if not 1 <= hashes <= _WORD_BITS:
+            raise ConfigurationError(f"hashes must be in [1, 64], got {hashes}")
+        self.size_bits = size_bits - size_bits % _WORD_BITS
+        self.hashes = hashes
+        self._seed = seed
+        self._num_words = self.size_bits // _WORD_BITS
+        self._registers = [0] * self._num_words
+        self._inserted = 0
+
+    def _mask(self, value: Hashable) -> int:
+        """Derive the in-word bit mask for ``value``."""
+        raw = hash64(value, self._seed ^ 0xB10C)
+        mask = 0
+        for i in range(self.hashes):
+            # Consume 6 bits of the hash per position; re-mix when exhausted.
+            if i > 0 and i % 10 == 0:
+                raw = hash64(raw, self._seed ^ (0xB10C + i))
+            position = (raw >> (6 * (i % 10))) & (_WORD_BITS - 1)
+            mask |= 1 << position
+        return mask
+
+    def _word_index(self, value: Hashable) -> int:
+        return hash_range(value, self._num_words, self._seed ^ 0x5E6)
+
+    def add(self, value: Hashable) -> None:
+        """Insert ``value``: OR its mask into its register."""
+        self._registers[self._word_index(value)] |= self._mask(value)
+        self._inserted += 1
+
+    def __contains__(self, value: Hashable) -> bool:
+        mask = self._mask(value)
+        return self._registers[self._word_index(value)] & mask == mask
+
+    def update(self, values: Iterable[Hashable]) -> None:
+        """Insert every value of an iterable."""
+        for value in values:
+            self.add(value)
+
+    def clear(self) -> None:
+        """Reset all registers to zero."""
+        self._registers = [0] * self._num_words
+        self._inserted = 0
+
+    @property
+    def inserted(self) -> int:
+        """Number of ``add`` calls (duplicates included)."""
+        return self._inserted
+
+    def fill_ratio(self) -> float:
+        """Fraction of set bits across all registers."""
+        set_bits = sum(bin(word).count("1") for word in self._registers)
+        return set_bits / self.size_bits

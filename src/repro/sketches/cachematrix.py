@@ -1,0 +1,240 @@
+"""The d×w cache matrices at the heart of Cheetah's stateful pruners.
+
+The paper's DISTINCT, randomized TOP N and GROUP BY algorithms all share
+one hardware layout: ``d`` register indexes per stage across ``w`` stages,
+viewed as a matrix of ``d`` rows and ``w`` columns.  An entry hashes (or is
+randomly assigned) to a row and is compared only against the ``w`` cells of
+that row — this is how Cheetah fits "compare against many past entries"
+into a pipeline with a handful of ALUs per stage.
+
+Three row disciplines cover the paper's variants:
+
+* :class:`CacheMatrix` with ``policy="lru"`` — rolling replacement where a
+  hit refreshes recency (DISTINCT's default).
+* :class:`CacheMatrix` with ``policy="fifo"`` — rolling replacement that
+  ignores hits (cheaper: same-stage ALUs share memory; Table 2's FIFO row).
+* :class:`RollingMinMatrix` — each row keeps the ``w`` largest values seen,
+  maintained as the paper's rolling minimum (randomized TOP N, Fig. 2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from .hashing import Hashable, hash_range
+
+_EMPTY = object()
+
+
+class CacheMatrix:
+    """A ``d x w`` matrix of per-row caches with rolling replacement.
+
+    ``lookup_insert`` is the single dataplane operation: it reports whether
+    the value was already cached in its row and, if not, installs it by
+    shifting the row (new value in column 0, old column ``w-1`` evicted) —
+    exactly the paper's "replace the first with the new entry, the second
+    with the first, etc." rolling scheme.
+    """
+
+    def __init__(self, rows: int, cols: int, policy: str = "lru", seed: int = 0) -> None:
+        if rows <= 0 or cols <= 0:
+            raise ConfigurationError(
+                f"matrix dimensions must be positive, got rows={rows} cols={cols}"
+            )
+        if policy not in ("lru", "fifo"):
+            raise ConfigurationError(f"unknown policy {policy!r}; use 'lru' or 'fifo'")
+        self.rows = rows
+        self.cols = cols
+        self.policy = policy
+        self._seed = seed
+        self._cells: List[List[object]] = [[_EMPTY] * cols for _ in range(rows)]
+
+    def row_of(self, value: Hashable) -> int:
+        """Deterministic row assignment (same value -> same row)."""
+        return hash_range(value, self.rows, self._seed ^ 0xD15C)
+
+    def contains(self, value: Hashable, row: Optional[int] = None) -> bool:
+        """Probe without mutating (not a dataplane op; used by tests)."""
+        if row is None:
+            row = self.row_of(value)
+        return value in self._cells[row]
+
+    def lookup_insert(self, value: Hashable, row: Optional[int] = None) -> bool:
+        """Return True on a row hit; install the value on a miss.
+
+        On a hit under LRU the value is moved to column 0 (refreshed); under
+        FIFO the row is untouched.  On a miss the row shifts right and the
+        value lands in column 0.
+        """
+        if row is None:
+            row = self.row_of(value)
+        cells = self._cells[row]
+        if value in cells:
+            if self.policy == "lru":
+                cells.remove(value)
+                cells.insert(0, value)
+            return True
+        cells.insert(0, value)
+        cells.pop()
+        return False
+
+    def clear(self) -> None:
+        """Empty every row (query teardown / switch reboot)."""
+        self._cells = [[_EMPTY] * self.cols for _ in range(self.rows)]
+
+    def row_values(self, row: int) -> List[object]:
+        """The cached values of ``row`` in recency order (tests/inspection)."""
+        return [cell for cell in self._cells[row] if cell is not _EMPTY]
+
+    def occupancy(self) -> int:
+        """Total number of cached values across all rows."""
+        return sum(1 for row in self._cells for cell in row if cell is not _EMPTY)
+
+    def sram_bits(self, value_bits: int = 64) -> int:
+        """SRAM footprint per Table 2: ``(d*w) x value_bits``."""
+        return self.rows * self.cols * value_bits
+
+
+class RollingMinMatrix:
+    """A ``d x w`` matrix where each row keeps its ``w`` largest values.
+
+    The dataplane operation ``offer`` pushes a value through a row kept in
+    descending order: at each column the larger of (incoming, stored) stays
+    and the smaller continues — the paper's rolling minimum.  A value that
+    exits the last column smaller than everything stored is *prunable*.
+
+    Rows are selected by the caller (randomized TOP N assigns rows uniformly
+    at random; GROUP BY hashes the key) via the ``row`` argument.
+    """
+
+    def __init__(self, rows: int, cols: int) -> None:
+        if rows <= 0 or cols <= 0:
+            raise ConfigurationError(
+                f"matrix dimensions must be positive, got rows={rows} cols={cols}"
+            )
+        self.rows = rows
+        self.cols = cols
+        self._cells: List[List[Optional[float]]] = [[None] * cols for _ in range(rows)]
+
+    def offer(self, value: float, row: int) -> bool:
+        """Push ``value`` through ``row``; return True if it was pruned.
+
+        Pruned means the row was full and ``value`` was strictly smaller
+        than all ``w`` stored values — since each stored value was itself
+        forwarded on arrival, a pruned value provably has ``w`` forwarded
+        row-mates above it.  Any other value is forwarded; if it displaces
+        the rolling minimum, the old minimum simply leaves switch memory
+        (it was already forwarded).
+        """
+        if not 0 <= row < self.rows:
+            raise ConfigurationError(f"row {row} out of range [0, {self.rows})")
+        cells = self._cells[row]
+        if cells[-1] is not None and value < cells[-1]:
+            # Full row, value below its minimum: nothing to update.
+            return True
+        kept = [c for c in cells if c is not None]
+        position = 0
+        while position < len(kept) and kept[position] >= value:
+            position += 1
+        kept.insert(position, value)
+        kept = kept[: self.cols]
+        self._cells[row] = kept + [None] * (self.cols - len(kept))
+        return False
+
+    def row_values(self, row: int) -> List[float]:
+        """Stored values of ``row``, largest first."""
+        return [cell for cell in self._cells[row] if cell is not None]
+
+    def minimum(self, row: int) -> Optional[float]:
+        """Smallest stored value of a full row, or None when not full."""
+        cells = self._cells[row]
+        if cells[-1] is None:
+            return None
+        return cells[-1]
+
+    def clear(self) -> None:
+        """Empty every row."""
+        self._cells = [[None] * self.cols for _ in range(self.rows)]
+
+    def sram_bits(self, value_bits: int = 64) -> int:
+        """SRAM footprint per Table 2: ``(d*w) x value_bits``."""
+        return self.rows * self.cols * value_bits
+
+
+class KeyedAggregateMatrix:
+    """A ``d x w`` matrix caching ``(key, aggregate)`` pairs per row.
+
+    Used by GROUP BY pruning with MIN/MAX aggregates: each row caches up to
+    ``w`` keys with their running aggregate.  ``observe`` returns whether
+    the entry can be pruned (key cached and the new value does not improve
+    its aggregate).
+    """
+
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        better: Callable[[float, float], bool],
+        seed: int = 0,
+    ) -> None:
+        if rows <= 0 or cols <= 0:
+            raise ConfigurationError(
+                f"matrix dimensions must be positive, got rows={rows} cols={cols}"
+            )
+        self.rows = rows
+        self.cols = cols
+        self._better = better
+        self._seed = seed
+        self._cells: List[List[Optional[Tuple[Hashable, float]]]] = [
+            [None] * cols for _ in range(rows)
+        ]
+
+    def row_of(self, key: Hashable) -> int:
+        """Deterministic row assignment for ``key``."""
+        return hash_range(key, self.rows, self._seed ^ 0x6B)
+
+    def observe(self, key: Hashable, value: float) -> bool:
+        """Process one entry; return True when it is safe to prune.
+
+        Safe to prune means the key is cached in its row with an aggregate
+        at least as good, so this entry cannot change the group's result.
+        A new or improved key updates the cache (rolling replacement on
+        insertion) and is forwarded.
+        """
+        row = self.row_of(key)
+        cells = self._cells[row]
+        for col, cell in enumerate(cells):
+            if cell is not None and cell[0] == key:
+                if self._better(value, cell[1]):
+                    cells[col] = (key, value)
+                    return False
+                return True
+        cells.insert(0, (key, value))
+        cells.pop()
+        return False
+
+    def cached_keys(self, row: int) -> List[Hashable]:
+        """Keys currently cached in ``row``."""
+        return [cell[0] for cell in self._cells[row] if cell is not None]
+
+    def clear(self) -> None:
+        """Empty every row."""
+        self._cells = [[None] * self.cols for _ in range(self.rows)]
+
+    def sram_bits(self, value_bits: int = 64) -> int:
+        """SRAM per Table 2 (key and aggregate words per cell)."""
+        return self.rows * self.cols * value_bits * 2
+
+
+def expected_distinct_pruning(distinct: int, rows: int, cols: int) -> float:
+    """Theorem 1's lower bound on the pruned fraction of duplicates.
+
+    ``0.99 * min(w*d / (D*e), 1)`` for a random-order stream with ``D``
+    distinct values, valid when ``D > d*ln(200d)``.
+    """
+    import math
+
+    if distinct <= 0:
+        return 1.0
+    return 0.99 * min(cols * rows / (distinct * math.e), 1.0)

@@ -1,0 +1,113 @@
+"""Count-Min sketch, the substrate of Cheetah's HAVING pruner (§4.3).
+
+The paper picks Count-Min over Count sketch precisely for its *one-sided*
+error: the estimate never under-counts, so pruning a key whose estimated
+SUM is at most the HAVING threshold can never drop a correct output key.
+That invariant (``estimate(k) >= true(k)``) is property-tested.
+
+A conservative-update variant is included as a documented extension; it
+keeps the one-sided guarantee while tightening estimates, and the ablation
+bench compares the two.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from ..errors import ConfigurationError
+from .hashing import Hashable, hash_family
+
+
+class CountMinSketch:
+    """Count-Min sketch with ``depth`` rows of ``width`` counters.
+
+    Parameters
+    ----------
+    width:
+        Counters per row (``w`` in the paper's Table 4).
+    depth:
+        Number of rows / hash functions (``d``; the paper evaluates 3).
+    conservative:
+        When true, use conservative update: only raise the counters that
+        equal the current minimum.  Estimates stay one-sided but tighter.
+    seed:
+        Base seed for the row hash functions.
+    """
+
+    def __init__(
+        self,
+        width: int,
+        depth: int = 3,
+        conservative: bool = False,
+        seed: int = 0,
+    ) -> None:
+        if width <= 0 or depth <= 0:
+            raise ConfigurationError(
+                f"sketch dimensions must be positive, got width={width} depth={depth}"
+            )
+        self.width = width
+        self.depth = depth
+        self.conservative = conservative
+        self._hash_fns = hash_family(depth, width, base_seed=seed)
+        self._rows: List[List[int]] = [[0] * width for _ in range(depth)]
+        self._total = 0
+
+    def _indexes(self, key: Hashable) -> List[int]:
+        return [fn(key) for fn in self._hash_fns]
+
+    def add(self, key: Hashable, amount: int = 1) -> int:
+        """Add ``amount`` to ``key`` and return the new estimate.
+
+        ``amount`` must be non-negative: switch register ALUs only
+        increment, and a negative update would break one-sidedness.
+        """
+        if amount < 0:
+            raise ConfigurationError(f"negative updates unsupported, got {amount}")
+        indexes = self._indexes(key)
+        self._total += amount
+        if self.conservative:
+            current = min(self._rows[r][i] for r, i in enumerate(indexes))
+            target = current + amount
+            for r, i in enumerate(indexes):
+                if self._rows[r][i] < target:
+                    self._rows[r][i] = target
+            return target
+        for r, i in enumerate(indexes):
+            self._rows[r][i] += amount
+        return min(self._rows[r][i] for r, i in enumerate(indexes))
+
+    def estimate(self, key: Hashable) -> int:
+        """Upper-bound estimate of the total amount added for ``key``."""
+        return min(self._rows[r][i] for r, i in enumerate(self._indexes(key)))
+
+    def update(self, pairs: Iterable[Tuple[Hashable, int]]) -> None:
+        """Add a stream of ``(key, amount)`` pairs."""
+        for key, amount in pairs:
+            self.add(key, amount)
+
+    def clear(self) -> None:
+        """Zero all counters."""
+        self._rows = [[0] * self.width for _ in range(self.depth)]
+        self._total = 0
+
+    @property
+    def total(self) -> int:
+        """Sum of all amounts added across keys."""
+        return self._total
+
+    def sram_bits(self, counter_bits: int = 64) -> int:
+        """SRAM footprint, matching Table 2's ``(d*w) x 64b`` accounting."""
+        return self.width * self.depth * counter_bits
+
+    def heavy_keys(self, keys: Iterable[Hashable], threshold: int) -> Dict[Hashable, int]:
+        """Return ``{key: estimate}`` for keys whose estimate exceeds ``threshold``.
+
+        This is the master-side helper for HAVING: the true heavy keys are
+        always a subset of the returned set (one-sided error).
+        """
+        result: Dict[Hashable, int] = {}
+        for key in keys:
+            est = self.estimate(key)
+            if est > threshold:
+                result[key] = est
+        return result

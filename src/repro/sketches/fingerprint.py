@@ -1,0 +1,99 @@
+"""Fingerprinting of wide / multi-column keys (paper §5, Example 8).
+
+Switches parse a bounded number of bits per packet, so DISTINCT (or JOIN)
+over several columns or long strings cannot ship the raw key.  CWorkers
+instead compute a short hash — a *fingerprint* — of all queried columns
+and the switch operates on that.  Collisions can make DISTINCT drop a
+never-seen value; Theorem 4 sizes the fingerprint so that, with
+probability ``1 - delta``, no two distinct values in the *same matrix row*
+collide (cross-row collisions are harmless).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import ConfigurationError
+from .hashing import Hashable, fingerprint
+
+
+@dataclass(frozen=True)
+class FingerprintScheme:
+    """A concrete fingerprint function: width in bits plus a seed."""
+
+    bits: int
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.bits <= 64:
+            raise ConfigurationError(
+                f"fingerprint width must be in [1, 64], got {self.bits}"
+            )
+
+    def of(self, value: Hashable) -> int:
+        """Fingerprint a single value."""
+        return fingerprint(value, self.bits, self.seed)
+
+    def of_columns(self, values: Sequence[Hashable]) -> int:
+        """Fingerprint a multi-column key (order-sensitive)."""
+        return fingerprint(tuple(values), self.bits, self.seed)
+
+
+def max_row_load(distinct: int, rows: int, delta: float) -> float:
+    """Theorem 4's bound ``M`` on the max distinct values per row.
+
+    Three regimes depending on how ``D`` compares with ``d ln(2d/delta)``;
+    the bound holds with probability ``1 - delta/2`` in a balls-and-bins
+    throw of ``D`` balls into ``d`` bins.
+    """
+    if distinct < 0 or rows <= 0:
+        raise ConfigurationError(
+            f"need distinct >= 0 and rows > 0, got D={distinct} d={rows}"
+        )
+    if not 0.0 < delta < 1.0:
+        raise ConfigurationError(f"delta must be in (0, 1), got {delta}")
+    log_term = math.log(2 * rows / delta)
+    if distinct > rows * log_term:
+        return math.e * distinct / rows
+    if distinct >= rows * math.log(1.0 / delta) / math.e:
+        return math.e * log_term
+    # Light-load regime; guard the inner log argument.
+    if distinct == 0:
+        return 1.0
+    inner = (rows / (distinct * math.e)) * log_term
+    if inner <= 1.0:
+        return math.e * log_term
+    return 1.3 * log_term / math.log(inner)
+
+
+def required_bits(distinct: int, rows: int, delta: float) -> int:
+    """Fingerprint width per Theorem 4: ``ceil(log2(d * M^2 / delta))``.
+
+    With this width, same-row collisions among distinct values happen with
+    probability at most ``delta``, independent of the stream length and of
+    the number of matrix columns ``w``.
+    """
+    load = max_row_load(distinct, rows, delta)
+    return max(1, math.ceil(math.log2(max(rows * load * load / delta, 2.0))))
+
+
+def required_bits_simple(stream_length: int, cols: int, delta: float) -> int:
+    """Theorem 5's simpler bound: ``ceil(log2(w * m / delta))``.
+
+    Depends on the full stream length ``m`` — useful when the number of
+    distinct values is unknown, wasteful when ``m`` is huge.
+    """
+    if stream_length <= 0 or cols <= 0:
+        raise ConfigurationError(
+            f"need positive m and w, got m={stream_length} w={cols}"
+        )
+    if not 0.0 < delta < 1.0:
+        raise ConfigurationError(f"delta must be in (0, 1), got {delta}")
+    return max(1, math.ceil(math.log2(cols * stream_length / delta)))
+
+
+def scheme_for(distinct: int, rows: int, delta: float, seed: int = 0) -> FingerprintScheme:
+    """Build a :class:`FingerprintScheme` sized by Theorem 4, capped at 64 bits."""
+    return FingerprintScheme(bits=min(64, required_bits(distinct, rows, delta)), seed=seed)

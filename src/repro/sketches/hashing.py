@@ -1,0 +1,121 @@
+"""Seeded 64-bit hash family used by every sketch in the library.
+
+Programmable switches expose a small set of hardware hash units (CRC
+polynomials with per-unit seeds).  We model them with a splitmix64-based
+family: deterministic, cheap, and well distributed, with independent
+streams selected by ``seed``.  All sketches take hash functions from
+:func:`hash_family` so tests can fix seeds and reproduce exact layouts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Union
+
+import numpy as np
+
+_MASK64 = (1 << 64) - 1
+
+#: Values every hash function in the library accepts.
+Hashable = Union[int, str, bytes, float, tuple]
+
+
+def _splitmix64(x: int) -> int:
+    """One round of the splitmix64 mixer (public-domain constants)."""
+    x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+def _bytes_to_int(data: bytes) -> int:
+    """Fold arbitrary bytes into a 64-bit integer with FNV-1a."""
+    acc = 0xCBF29CE484222325
+    for byte in data:
+        acc = ((acc ^ byte) * 0x100000001B3) & _MASK64
+    return acc
+
+
+def canonical_int(value: Hashable) -> int:
+    """Map any supported value to a canonical 64-bit integer.
+
+    Integers map to themselves (mod 2^64); strings and bytes are folded
+    with FNV-1a; floats use their IEEE-754 bit pattern; tuples fold their
+    elements recursively.  The mapping is stable across processes (unlike
+    built-in ``hash``, which is salted for str).
+    """
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, int):
+        return value & _MASK64
+    if isinstance(value, np.integer):
+        return int(value) & _MASK64
+    if isinstance(value, np.floating):
+        value = float(value)
+    if isinstance(value, bytes):
+        return _bytes_to_int(value)
+    if isinstance(value, str):
+        return _bytes_to_int(value.encode("utf-8"))
+    if isinstance(value, float):
+        import struct
+
+        return _bytes_to_int(struct.pack("<d", value))
+    if isinstance(value, tuple):
+        acc = 0x9E3779B97F4A7C15
+        for element in value:
+            acc = _splitmix64(acc ^ canonical_int(element))
+        return acc
+    raise TypeError(f"unhashable value type for switch hashing: {type(value)!r}")
+
+
+def hash64(value: Hashable, seed: int = 0) -> int:
+    """Hash ``value`` to a uniform 64-bit integer under stream ``seed``."""
+    return _splitmix64(canonical_int(value) ^ _splitmix64(seed & _MASK64))
+
+
+def hash_range(value: Hashable, n: int, seed: int = 0) -> int:
+    """Hash ``value`` into ``{0, ..., n - 1}``.
+
+    Uses the high multiply trick (Lemire reduction) instead of modulo to
+    avoid bias for ``n`` far from a power of two.
+    """
+    if n <= 0:
+        raise ValueError(f"range size must be positive, got {n}")
+    return (hash64(value, seed) * n) >> 64
+
+
+HashFn = Callable[[Hashable], int]
+
+
+def hash_family(count: int, n: int, base_seed: int = 0) -> List[HashFn]:
+    """Return ``count`` independent hash functions into ``{0, ..., n-1}``.
+
+    Switch hardware provides a handful of independent hash units; sketches
+    (Bloom filters, Count-Min) request them through this factory.
+    """
+    if count <= 0:
+        raise ValueError(f"need at least one hash function, got {count}")
+
+    def make(seed: int) -> HashFn:
+        return lambda value: hash_range(value, n, seed)
+
+    return [make(base_seed * 0x1000 + i + 1) for i in range(count)]
+
+
+def fingerprint(value: Hashable, bits: int, seed: int = 0) -> int:
+    """Return a ``bits``-wide fingerprint of ``value``.
+
+    Fingerprints compress wide or multi-column keys into a fixed number of
+    bits parseable by the switch (paper §5, Example 8).  ``bits`` must be
+    in ``[1, 64]``.
+    """
+    if not 1 <= bits <= 64:
+        raise ValueError(f"fingerprint width must be in [1, 64], got {bits}")
+    return hash64(value, seed ^ 0x5FD1) >> (64 - bits)
+
+
+def combine(values: Iterable[Hashable], seed: int = 0) -> int:
+    """Order-sensitive 64-bit combination of several values."""
+    acc = _splitmix64(seed & _MASK64)
+    for value in values:
+        acc = _splitmix64(acc ^ canonical_int(value))
+    return acc

@@ -1,0 +1,269 @@
+"""Compiling pruner configurations to hardware footprints (Table 2, §6).
+
+Each ``footprint_*`` function evaluates the closed-form resource formulas
+of the paper's Table 2 for a given parameterization; ``check_fits`` /
+``pack`` then validate a single program or a concurrently packed set of
+programs against a :class:`ResourceModel`.  The benchmark
+``bench_table2_resources.py`` prints the resulting table next to the
+paper's defaults.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence
+
+from ..errors import ConfigurationError
+from .resources import ResourceFootprint, ResourceModel, TOFINO
+from .tcam import LogApproxTable, msb_rule_count
+
+_WORD = 64
+
+
+def _spread(total_bits: int, stages: int, offset: int = 0) -> dict:
+    """Distribute SRAM evenly across ``stages`` logical stages."""
+    if stages <= 0:
+        return {}
+    per_stage = total_bits // stages
+    remainder = total_bits - per_stage * stages
+    mapping = {offset + i: per_stage for i in range(stages)}
+    mapping[offset] += remainder
+    return mapping
+
+
+def footprint_filtering(predicates: int = 1, reconfigurable: bool = True) -> ResourceFootprint:
+    """Filtering (Appendix A.2.2): one ALU per basic predicate.
+
+    A runtime-reconfigurable constant needs one register per predicate;
+    otherwise the comparison constant is baked into the action and costs
+    no SRAM.
+    """
+    if predicates <= 0:
+        raise ConfigurationError(f"need at least one predicate, got {predicates}")
+    sram = predicates * _WORD if reconfigurable else 0
+    return ResourceFootprint(
+        stages=1,
+        alus=predicates,
+        sram_bits=sram,
+        stage_sram_bits={0: sram} if sram else {},
+        phv_bits=_WORD + predicates,  # value plus the predicate bit vector
+        label="FILTER",
+    )
+
+
+def footprint_distinct(
+    cols: int = 2,
+    rows: int = 4096,
+    policy: str = "lru",
+    model: ResourceModel = TOFINO,
+    value_bits: int = _WORD,
+) -> ResourceFootprint:
+    """DISTINCT (Table 2): ``(d*w) x 64b`` SRAM; FIFO can fold stages.
+
+    LRU needs ``w`` sequential stages (the rolling replacement writes a
+    different register each stage).  FIFO, with same-stage shared memory,
+    fits ``A`` columns per stage: ``ceil(w / A)`` stages.
+    """
+    if policy == "fifo" and model.shared_stage_memory:
+        stages = math.ceil(cols / model.alus_per_stage)
+    else:
+        stages = cols
+    sram = rows * cols * value_bits
+    return ResourceFootprint(
+        stages=stages,
+        alus=cols,
+        sram_bits=sram,
+        stage_sram_bits=_spread(sram, stages),
+        phv_bits=value_bits + 32,  # fingerprint/value + row index metadata
+        label=f"DISTINCT-{policy.upper()}",
+    )
+
+
+def footprint_skyline(
+    dims: int = 2,
+    points: int = 10,
+    score: str = "sum",
+) -> ResourceFootprint:
+    """SKYLINE (Table 2): ``w`` points, each one score stage + one dims stage.
+
+    SUM:  ``ceil(log2 D) + 2w`` stages, ``2*ceil(log2 D) - 1 + w(D+1)`` ALUs,
+    ``w(D+1) x 64b`` SRAM.  APH adds the 2^16 x 32b log table and ``64*D``
+    TCAM entries for per-dimension MSB lookups, and two more stages.
+    """
+    if dims < 1 or points < 1:
+        raise ConfigurationError(f"need dims>=1 and points>=1, got D={dims} w={points}")
+    log_d = max(1, math.ceil(math.log2(dims))) if dims > 1 else 1
+    alus = 2 * log_d - 1 + points * (dims + 1)
+    sram = points * (dims + 1) * _WORD
+    tcam = 0
+    if score == "aph":
+        stages = log_d + 2 * (points + 1)
+        sram += LogApproxTable.ENTRY_COUNT * 32
+        tcam = msb_rule_count(_WORD) * dims
+    elif score == "sum":
+        stages = log_d + 2 * points
+    else:
+        raise ConfigurationError(f"unknown skyline score {score!r}; use 'sum' or 'aph'")
+    return ResourceFootprint(
+        stages=stages,
+        alus=alus,
+        sram_bits=sram,
+        tcam_entries=tcam,
+        stage_sram_bits=_spread(sram, stages),
+        phv_bits=_WORD * (dims + 1) + 8,
+        label=f"SKYLINE-{score.upper()}",
+    )
+
+
+def footprint_topn_det(thresholds: int = 4) -> ResourceFootprint:
+    """Deterministic TOP N (Table 2): ``w+1`` stages/ALUs, ``(w+1) x 64b``."""
+    if thresholds < 1:
+        raise ConfigurationError(f"need at least one threshold, got {thresholds}")
+    stages = thresholds + 1
+    sram = (thresholds + 1) * _WORD
+    return ResourceFootprint(
+        stages=stages,
+        alus=thresholds + 1,
+        sram_bits=sram,
+        stage_sram_bits=_spread(sram, stages),
+        phv_bits=_WORD + 8,
+        label="TOPN-DET",
+    )
+
+
+def footprint_topn_rand(cols: int = 4, rows: int = 4096) -> ResourceFootprint:
+    """Randomized TOP N (Table 2): like DISTINCT-LRU, ``(d*w) x 64b``."""
+    sram = rows * cols * _WORD
+    return ResourceFootprint(
+        stages=cols,
+        alus=cols,
+        sram_bits=sram,
+        stage_sram_bits=_spread(sram, cols),
+        phv_bits=_WORD + 32,
+        label="TOPN-RAND",
+    )
+
+
+def footprint_groupby(cols: int = 8, rows: int = 4096) -> ResourceFootprint:
+    """GROUP BY (Table 2): ``w`` stages and ALUs, ``d*w x 64b`` SRAM."""
+    sram = rows * cols * _WORD
+    return ResourceFootprint(
+        stages=cols,
+        alus=cols,
+        sram_bits=sram,
+        stage_sram_bits=_spread(sram, cols),
+        phv_bits=_WORD * 2 + 32,  # key + value + row index
+        label="GROUPBY",
+    )
+
+
+def footprint_join(
+    memory_bits: int = 4 * 1024 * 1024 * 8,
+    hashes: int = 3,
+    variant: str = "bf",
+) -> ResourceFootprint:
+    """JOIN (Table 2): BF uses 2 stages / H ALUs; RBF 1 stage / 1 ALU.
+
+    The RBF adds the mask-derivation table: ``C(64, H) x 64b`` in the
+    paper's accounting.
+    """
+    if memory_bits <= 0:
+        raise ConfigurationError(f"filter memory must be positive, got {memory_bits}")
+    if variant == "bf":
+        stages, alus, sram = 2, hashes, memory_bits
+        stage_map = _spread(sram, stages)
+    elif variant == "rbf":
+        stages, alus = 1, 1
+        # The C(64, H) x 64b mask-derivation table lives in match-action
+        # table memory, not the stage's register partition, so it counts
+        # against total SRAM but not the single stage's register budget.
+        sram = memory_bits + math.comb(_WORD, hashes) * _WORD
+        stage_map = _spread(memory_bits, stages)
+    else:
+        raise ConfigurationError(f"unknown join variant {variant!r}; use 'bf' or 'rbf'")
+    return ResourceFootprint(
+        stages=stages,
+        alus=alus,
+        sram_bits=sram,
+        stage_sram_bits=stage_map,
+        phv_bits=_WORD + 16,
+        label=f"JOIN-{variant.upper()}",
+    )
+
+
+def footprint_having(
+    width: int = 1024,
+    depth: int = 3,
+    model: ResourceModel = TOFINO,
+) -> ResourceFootprint:
+    """HAVING (Table 2): Count-Min, ``ceil(d/A)`` stages, ``d`` ALUs."""
+    stages = math.ceil(depth / model.alus_per_stage)
+    sram = width * depth * _WORD
+    return ResourceFootprint(
+        stages=stages,
+        alus=depth,
+        sram_bits=sram,
+        stage_sram_bits=_spread(sram, stages),
+        phv_bits=_WORD * 2 + 8,
+        label="HAVING",
+    )
+
+
+def footprint_reliability() -> ResourceFootprint:
+    """The §7.2 reliability protocol: two pipeline stages on hardware."""
+    sram = 1024 * _WORD  # per-fid sequence registers
+    return ResourceFootprint(
+        stages=2,
+        alus=2,
+        sram_bits=sram,
+        stage_sram_bits=_spread(sram, 2),
+        phv_bits=64,
+        label="RELIABILITY",
+    )
+
+
+def pack(
+    footprints: Sequence[ResourceFootprint],
+    model: ResourceModel = TOFINO,
+    strategy: str = "parallel",
+) -> ResourceFootprint:
+    """Pack several query programs onto one pipeline (§6).
+
+    ``parallel`` shares physical stages between queries (each query gets a
+    prune/no-prune bit and one final stage selects the relevant bit);
+    ``serial`` lays programs out back to back.  The combined footprint is
+    validated against ``model`` — a set that does not fit raises
+    :class:`ResourceError` rather than silently overcommitting.
+    """
+    if not footprints:
+        raise ConfigurationError("nothing to pack")
+    if strategy not in ("parallel", "serial"):
+        raise ConfigurationError(f"unknown packing strategy {strategy!r}")
+    combined = footprints[0]
+    for fp in footprints[1:]:
+        if strategy == "parallel":
+            combined = combined.merged_parallel(fp)
+        else:
+            combined = combined.merged_serial(fp)
+    if strategy == "parallel" and len(footprints) > 1:
+        # The bit-selection stage of §6: one extra stage, one ALU.
+        selector = ResourceFootprint(stages=1, alus=1, phv_bits=len(footprints), label="SELECT")
+        combined = combined.merged_serial(selector)
+    combined.check_fits(model)
+    return combined
+
+
+def table2(model: ResourceModel = TOFINO) -> List[ResourceFootprint]:
+    """The paper's Table 2 rows at their default parameters."""
+    return [
+        footprint_distinct(cols=2, rows=4096, policy="fifo", model=model),
+        footprint_distinct(cols=2, rows=4096, policy="lru", model=model),
+        footprint_skyline(dims=2, points=10, score="sum"),
+        footprint_skyline(dims=2, points=10, score="aph"),
+        footprint_topn_det(thresholds=4),
+        footprint_topn_rand(cols=4, rows=4096),
+        footprint_groupby(cols=8, rows=4096),
+        footprint_join(variant="bf"),
+        footprint_join(variant="rbf"),
+        footprint_having(width=1024, depth=3, model=model),
+    ]

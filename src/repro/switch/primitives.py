@@ -1,0 +1,120 @@
+"""The operation set a PISA ALU actually supports (paper §2.2).
+
+Cheetah's algorithms are designed around what a switch *can* do — hashing,
+comparison, addition/subtraction, bit shifts and bit matching — and what
+it cannot: multiplication, division, logarithms, string operations.  The
+simulator routes every dataplane computation through :func:`alu`, which
+raises :class:`UnsupportedOperationError` for anything outside the set.
+This is the mechanism that forces e.g. SKYLINE's product heuristic to go
+through the TCAM-based APH instead of multiplying.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Union
+
+from ..errors import UnsupportedOperationError
+from ..sketches.hashing import hash64
+
+_MASK64 = (1 << 64) - 1
+
+Word = int
+
+
+class AluOp(Enum):
+    """Operations available on a stateful switch ALU."""
+
+    ADD = "add"
+    SUB = "sub"
+    MIN = "min"
+    MAX = "max"
+    EQ = "eq"
+    NEQ = "neq"
+    GT = "gt"
+    GE = "ge"
+    LT = "lt"
+    LE = "le"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"
+    HASH = "hash"
+
+
+#: Operations the hardware cannot express; requesting them must fail loudly.
+FORBIDDEN_OPS = frozenset({"mul", "div", "mod", "log", "exp", "sqrt", "strcmp", "like"})
+
+
+def alu(op: Union[AluOp, str], a: Word, b: Word = 0) -> Word:
+    """Execute one ALU operation on 64-bit words.
+
+    Comparison ops return 1/0; arithmetic wraps at 64 bits the way switch
+    registers do.  Unknown or forbidden operation names raise
+    :class:`UnsupportedOperationError` — this is how tests demonstrate the
+    function constraints of §2.2.
+    """
+    if isinstance(op, str):
+        if op in FORBIDDEN_OPS:
+            raise UnsupportedOperationError(
+                f"operation {op!r} is not implementable on the switch dataplane"
+            )
+        try:
+            op = AluOp(op)
+        except ValueError:
+            raise UnsupportedOperationError(
+                f"unknown dataplane operation {op!r}"
+            ) from None
+    a &= _MASK64
+    b &= _MASK64
+    if op is AluOp.ADD:
+        return (a + b) & _MASK64
+    if op is AluOp.SUB:
+        return (a - b) & _MASK64
+    if op is AluOp.MIN:
+        return min(a, b)
+    if op is AluOp.MAX:
+        return max(a, b)
+    if op is AluOp.EQ:
+        return int(a == b)
+    if op is AluOp.NEQ:
+        return int(a != b)
+    if op is AluOp.GT:
+        return int(a > b)
+    if op is AluOp.GE:
+        return int(a >= b)
+    if op is AluOp.LT:
+        return int(a < b)
+    if op is AluOp.LE:
+        return int(a <= b)
+    if op is AluOp.AND:
+        return a & b
+    if op is AluOp.OR:
+        return a | b
+    if op is AluOp.XOR:
+        return a ^ b
+    if op is AluOp.SHL:
+        return (a << (b & 63)) & _MASK64
+    if op is AluOp.SHR:
+        return a >> (b & 63)
+    if op is AluOp.HASH:
+        return hash64(a, seed=b)
+    raise UnsupportedOperationError(f"unknown dataplane operation {op!r}")
+
+
+def msb_index(value: Word) -> int:
+    """Index of the most significant set bit (``floor(log2 v)``).
+
+    On hardware this is a single TCAM lookup with 32/64 prefix rules
+    (Appendix D); the simulator computes it directly but the TCAM entry
+    cost is accounted by :func:`repro.switch.tcam.msb_rule_count`.
+    """
+    if value <= 0:
+        raise UnsupportedOperationError("msb of non-positive value is undefined")
+    return value.bit_length() - 1
+
+
+def is_power_of_two(value: Word) -> bool:
+    """True when ``value`` is a power of two (cheap on bit-match hardware)."""
+    return value > 0 and value & (value - 1) == 0

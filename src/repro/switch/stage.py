@@ -1,0 +1,158 @@
+"""Match-action stages: registers, ALU metering, exact-match tables.
+
+A :class:`Stage` owns disjoint register memory (the PISA property that
+stage memories are private) and a bounded number of stateful ALU slots.
+Packet-time register access goes through :meth:`Stage.reg_read` /
+:meth:`Stage.reg_write`, which meter ALU usage so a program that needs
+more same-stage operations than the hardware has simply cannot run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..errors import ConfigurationError, ResourceError
+
+_MASK64 = (1 << 64) - 1
+
+
+class RegisterArray:
+    """A fixed-size array of fixed-width registers within one stage."""
+
+    def __init__(self, name: str, size: int, width_bits: int = 64) -> None:
+        if size <= 0:
+            raise ConfigurationError(f"register array size must be positive, got {size}")
+        if not 1 <= width_bits <= 64:
+            raise ConfigurationError(f"register width must be in [1,64], got {width_bits}")
+        self.name = name
+        self.size = size
+        self.width_bits = width_bits
+        self._mask = (1 << width_bits) - 1
+        self._cells = [0] * size
+
+    def read(self, index: int) -> int:
+        """Read the register at ``index``."""
+        return self._cells[index]
+
+    def write(self, index: int, value: int) -> None:
+        """Write ``value`` (truncated to the register width) at ``index``."""
+        self._cells[index] = value & self._mask
+
+    def clear(self) -> None:
+        """Zero the whole array."""
+        self._cells = [0] * self.size
+
+    @property
+    def sram_bits(self) -> int:
+        """SRAM consumed by this array."""
+        return self.size * self.width_bits
+
+
+@dataclass
+class MatchActionTable:
+    """An exact-match table: key -> action id, with a default action."""
+
+    name: str
+    default_action: int = 0
+    entries: Dict[int, int] = field(default_factory=dict)
+
+    def install(self, key: int, action: int) -> None:
+        """Install one control-plane rule."""
+        self.entries[key] = action
+
+    def lookup(self, key: int) -> int:
+        """Match ``key``; fall back to the default action."""
+        return self.entries.get(key, self.default_action)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+class Stage:
+    """One pipeline stage: private SRAM, ALU slots, match-action tables."""
+
+    def __init__(self, index: int, alus: int, sram_bits: int) -> None:
+        self.index = index
+        self.alu_budget = alus
+        self.sram_budget_bits = sram_bits
+        self._arrays: Dict[str, RegisterArray] = {}
+        self._tables: Dict[str, MatchActionTable] = {}
+        self._sram_used = 0
+        self._alu_ops_this_packet = 0
+
+    # -- control-plane-time allocation ------------------------------------
+
+    def alloc_register(self, name: str, size: int, width_bits: int = 64) -> RegisterArray:
+        """Allocate a register array, charging this stage's SRAM budget."""
+        if name in self._arrays:
+            raise ConfigurationError(f"register array {name!r} already exists in stage {self.index}")
+        array = RegisterArray(name, size, width_bits)
+        if self._sram_used + array.sram_bits > self.sram_budget_bits:
+            raise ResourceError(
+                f"stage {self.index}: register {name!r} needs {array.sram_bits} bits, "
+                f"only {self.sram_budget_bits - self._sram_used} free"
+            )
+        self._sram_used += array.sram_bits
+        self._arrays[name] = array
+        return array
+
+    def add_table(self, name: str, default_action: int = 0) -> MatchActionTable:
+        """Create an exact-match table in this stage."""
+        if name in self._tables:
+            raise ConfigurationError(f"table {name!r} already exists in stage {self.index}")
+        table = MatchActionTable(name, default_action)
+        self._tables[name] = table
+        return table
+
+    def table(self, name: str) -> MatchActionTable:
+        """Fetch a previously created table."""
+        return self._tables[name]
+
+    # -- packet-time operations -------------------------------------------
+
+    def begin_packet(self) -> None:
+        """Reset the per-packet ALU meter (called by the pipeline)."""
+        self._alu_ops_this_packet = 0
+
+    def _meter_alu(self) -> None:
+        self._alu_ops_this_packet += 1
+        if self._alu_ops_this_packet > self.alu_budget:
+            raise ResourceError(
+                f"stage {self.index}: packet used {self._alu_ops_this_packet} ALU ops, "
+                f"budget is {self.alu_budget}"
+            )
+
+    def reg_read(self, name: str, index: int) -> int:
+        """Metered register read."""
+        self._meter_alu()
+        return self._arrays[name].read(index)
+
+    def reg_write(self, name: str, index: int, value: int) -> None:
+        """Metered register write."""
+        self._meter_alu()
+        self._arrays[name].write(index, value)
+
+    def reg_read_modify_write(
+        self, name: str, index: int, update: Callable[[int], int]
+    ) -> int:
+        """One stateful-ALU op: read, transform, write back; returns old value.
+
+        This models the single read-modify-write a stateful ALU performs per
+        packet per register — one metered operation, not two.
+        """
+        self._meter_alu()
+        array = self._arrays[name]
+        old = array.read(index)
+        array.write(index, update(old))
+        return old
+
+    @property
+    def sram_used_bits(self) -> int:
+        """SRAM currently allocated in this stage."""
+        return self._sram_used
+
+    @property
+    def alu_ops_this_packet(self) -> int:
+        """ALU operations metered for the in-flight packet."""
+        return self._alu_ops_this_packet

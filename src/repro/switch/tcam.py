@@ -1,0 +1,142 @@
+"""Ternary CAM tables and the log-approximation machinery behind APH.
+
+Appendix D: SKYLINE's Approximate Product Heuristic rewrites a product of
+dimensions as a sum of logarithms, then approximates each logarithm with
+(1) a TCAM lookup that finds the most significant set bit of the value and
+(2) an exact-match table of 2^16 entries mapping a 16-bit mantissa window
+to ``round(beta * log2(a))``.  Both structures are modeled here with their
+entry counts, so the compiler can charge them against the resource model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..errors import ConfigurationError, UnsupportedOperationError
+
+_DEFAULT_BETA = 1 << 8
+
+
+@dataclass(frozen=True)
+class TcamEntry:
+    """One ternary rule: match ``(key & mask) == value``, highest priority wins."""
+
+    value: int
+    mask: int
+    action: int
+    priority: int = 0
+
+
+class TcamTable:
+    """A priority-ordered ternary match table."""
+
+    def __init__(self, width_bits: int = 64) -> None:
+        if not 1 <= width_bits <= 64:
+            raise ConfigurationError(f"TCAM width must be in [1, 64], got {width_bits}")
+        self.width_bits = width_bits
+        self._entries: List[TcamEntry] = []
+
+    def add(self, value: int, mask: int, action: int, priority: int = 0) -> None:
+        """Install a rule; higher ``priority`` matches first."""
+        self._entries.append(TcamEntry(value & mask, mask, action, priority))
+        self._entries.sort(key=lambda e: -e.priority)
+
+    def lookup(self, key: int) -> Optional[int]:
+        """Return the action of the highest-priority matching rule, or None."""
+        for entry in self._entries:
+            if key & entry.mask == entry.value:
+                return entry.action
+        return None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+def build_msb_table(width_bits: int = 64) -> TcamTable:
+    """Build the MSB-finder: one prefix rule per bit position.
+
+    Rule ``i`` matches any key whose bit ``i`` is set and all higher bits
+    are clear; its action is ``i``.  This is the single-lookup
+    ``floor(log2 z)`` of Appendix D, costing ``width_bits`` TCAM entries.
+    """
+    table = TcamTable(width_bits)
+    for i in range(width_bits):
+        # Match: bit i set, bits above i all zero, bits below i wildcard.
+        mask = ((1 << (width_bits - i)) - 1) << i
+        value = 1 << i
+        table.add(value=value, mask=mask, action=i, priority=i)
+    return table
+
+
+def msb_rule_count(width_bits: int = 64) -> int:
+    """TCAM entries consumed by the MSB finder (32 or 64 in the paper)."""
+    return width_bits
+
+
+class LogApproxTable:
+    """The 2^16-entry exact-match table ``a -> round(beta * log2 a)``.
+
+    ``beta`` trades accuracy for representation width: with ``beta = 2^8``
+    the image of a 16-bit input fits comfortably in 32 bits.  Values wider
+    than 16 bits are handled by the MSB window trick of Appendix D
+    (:meth:`approx_log`): look up the 16 bits starting at the leading one
+    and add ``beta * (msb - 15)`` for the dropped shift.
+    """
+
+    INPUT_BITS = 16
+    ENTRY_COUNT = 1 << INPUT_BITS
+
+    def __init__(self, beta: int = _DEFAULT_BETA) -> None:
+        if beta <= 0:
+            raise ConfigurationError(f"beta must be positive, got {beta}")
+        self.beta = beta
+        # Entry 0 is unused (log of 0 undefined); store a floor sentinel.
+        self._table = [0] * self.ENTRY_COUNT
+        for a in range(1, self.ENTRY_COUNT):
+            self._table[a] = round(beta * math.log2(a))
+        self._msb = build_msb_table(64)
+
+    def lookup(self, mantissa: int) -> int:
+        """Exact-match lookup for a 16-bit value."""
+        if not 0 < mantissa < self.ENTRY_COUNT:
+            raise UnsupportedOperationError(
+                f"log table input must be in [1, 2^16), got {mantissa}"
+            )
+        return self._table[mantissa]
+
+    def approx_log(self, value: int) -> int:
+        """Approximate ``beta * log2(value)`` for any positive 64-bit value.
+
+        For values below 2^16 this is one table lookup.  Wider values use
+        the TCAM MSB finder to select the 16-bit window starting at the
+        leading one bit, then shift-correct: ``log2(z) ~ log2(z') + (msb-15)``
+        where ``z'`` is the window read as a 16-bit integer.
+        """
+        if value <= 0:
+            raise UnsupportedOperationError("approximate log of non-positive value")
+        msb = self._msb.lookup(value)
+        assert msb is not None  # every positive value matches a prefix rule
+        if msb < self.INPUT_BITS:
+            return self._table[value]
+        shift = msb - (self.INPUT_BITS - 1)
+        window = value >> shift
+        return self._table[window] + self.beta * shift
+
+    def max_relative_error(self) -> float:
+        """Worst-case relative error of the windowed approximation.
+
+        Dominated by quantization: dropping ``shift`` low bits perturbs the
+        true value by at most a factor ``1 + 2^-15``, and rounding the
+        table output adds ``0.5 / beta`` absolute error on the log.
+        """
+        return 2.0 ** -(self.INPUT_BITS - 1) + 0.5 / self.beta
+
+    def sram_bits(self, entry_bits: int = 32) -> int:
+        """SRAM footprint of the exact-match table (Table 2: ``2^16 x 32b``)."""
+        return self.ENTRY_COUNT * entry_bits
+
+    def tcam_entries(self) -> int:
+        """TCAM entries for the MSB finder."""
+        return msb_rule_count(64)

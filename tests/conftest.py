@@ -1,0 +1,53 @@
+"""Shared fixtures for the Cheetah reproduction test suite."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.engine.table import Table
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A seeded stdlib RNG."""
+    return random.Random(1234)
+
+
+@pytest.fixture
+def nprng() -> np.random.Generator:
+    """A seeded numpy RNG."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def products_table() -> Table:
+    """The paper's running example: the Products table (Table 1a)."""
+    return Table.from_rows(
+        "Products",
+        ["name", "seller", "price"],
+        [
+            ("Burger", "McCheetah", 4),
+            ("Pizza", "Papizza", 7),
+            ("Fries", "McCheetah", 2),
+            ("Jello", "JellyFish", 5),
+        ],
+    )
+
+
+@pytest.fixture
+def ratings_table() -> Table:
+    """The paper's running example: the Ratings table (Table 1b)."""
+    return Table.from_rows(
+        "Ratings",
+        ["name", "taste", "texture"],
+        [
+            ("Pizza", 7, 5),
+            ("Cheetos", 8, 6),
+            ("Jello", 9, 4),
+            ("Burger", 5, 7),
+            ("Fries", 3, 3),
+        ],
+    )

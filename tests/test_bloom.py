@@ -1,0 +1,134 @@
+"""Tests for Bloom filters (repro.sketches.bloom)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sketches.bloom import BloomFilter, RegisterBloomFilter
+
+
+class TestBloomFilter:
+    def test_added_value_is_member(self):
+        bf = BloomFilter(1024, hashes=3)
+        bf.add("cheetah")
+        assert "cheetah" in bf
+
+    def test_no_false_negatives_bulk(self):
+        bf = BloomFilter(1 << 16, hashes=3)
+        bf.update(range(2000))
+        assert all(i in bf for i in range(2000))
+
+    def test_empty_filter_has_no_members(self):
+        bf = BloomFilter(1024)
+        assert all(i not in bf for i in range(100))
+
+    def test_false_positive_rate_near_theory(self):
+        bf = BloomFilter(1 << 14, hashes=3, seed=7)
+        bf.update(range(1000))
+        probes = 20_000
+        fps = sum(1 for i in range(10_000_000, 10_000_000 + probes) if i in bf)
+        theoretical = bf.false_positive_rate()
+        assert fps / probes < theoretical * 2 + 0.01
+
+    def test_clear_removes_everything(self):
+        bf = BloomFilter(1024)
+        bf.update(range(50))
+        bf.clear()
+        assert bf.inserted == 0
+        assert all(i not in bf for i in range(50))
+
+    def test_fill_ratio_grows_with_inserts(self):
+        bf = BloomFilter(4096, hashes=3)
+        before = bf.fill_ratio()
+        bf.update(range(200))
+        assert bf.fill_ratio() > before
+
+    def test_inserted_counts_duplicates(self):
+        bf = BloomFilter(1024)
+        bf.add("x")
+        bf.add("x")
+        assert bf.inserted == 2
+
+    def test_bits_for_sizing(self):
+        bits = BloomFilter.bits_for(10_000, 0.01)
+        bf = BloomFilter(bits, hashes=7, seed=3)
+        bf.update(range(10_000))
+        assert bf.false_positive_rate() < 0.02
+
+    def test_bits_for_rejects_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            BloomFilter.bits_for(0, 0.01)
+        with pytest.raises(ConfigurationError):
+            BloomFilter.bits_for(100, 1.5)
+
+    def test_invalid_size_raises(self):
+        with pytest.raises(ConfigurationError):
+            BloomFilter(0)
+
+    def test_invalid_hash_count_raises(self):
+        with pytest.raises(ConfigurationError):
+            BloomFilter(128, hashes=0)
+
+    def test_seed_changes_layout(self):
+        a = BloomFilter(1 << 12, seed=1)
+        b = BloomFilter(1 << 12, seed=2)
+        a.add("v")
+        b.add("v")
+        assert a._words != b._words  # different bit layout
+
+
+class TestRegisterBloomFilter:
+    def test_added_value_is_member(self):
+        rbf = RegisterBloomFilter(1 << 12, hashes=3)
+        rbf.add(12345)
+        assert 12345 in rbf
+
+    def test_no_false_negatives_bulk(self):
+        rbf = RegisterBloomFilter(1 << 16, hashes=3)
+        rbf.update(range(2000))
+        assert all(i in rbf for i in range(2000))
+
+    def test_false_positive_rate_reasonable(self):
+        # RBF trades a slightly higher FP rate for a one-stage lookup.
+        rbf = RegisterBloomFilter(1 << 16, hashes=3, seed=11)
+        rbf.update(range(1000))
+        probes = 20_000
+        fps = sum(1 for i in range(5_000_000, 5_000_000 + probes) if i in rbf)
+        assert fps / probes < 0.05
+
+    def test_minimum_size_enforced(self):
+        with pytest.raises(ConfigurationError):
+            RegisterBloomFilter(32)
+
+    def test_hash_count_bounds(self):
+        with pytest.raises(ConfigurationError):
+            RegisterBloomFilter(1024, hashes=0)
+        with pytest.raises(ConfigurationError):
+            RegisterBloomFilter(1024, hashes=65)
+
+    def test_size_rounds_down_to_words(self):
+        rbf = RegisterBloomFilter(100)  # not a multiple of 64
+        assert rbf.size_bits == 64
+
+    def test_clear(self):
+        rbf = RegisterBloomFilter(1 << 12)
+        rbf.update(range(100))
+        rbf.clear()
+        assert rbf.inserted == 0
+        assert all(i not in rbf for i in range(100))
+
+    def test_mask_has_at_most_h_bits(self):
+        rbf = RegisterBloomFilter(1 << 12, hashes=5)
+        for i in range(100):
+            assert 1 <= bin(rbf._mask(i)).count("1") <= 5
+
+    def test_many_hashes_supported(self):
+        rbf = RegisterBloomFilter(1 << 12, hashes=20)
+        rbf.add("wide")
+        assert "wide" in rbf
+
+    def test_fill_ratio_bounded(self):
+        rbf = RegisterBloomFilter(1 << 14, hashes=3)
+        rbf.update(range(500))
+        assert 0.0 < rbf.fill_ratio() < 1.0

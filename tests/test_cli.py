@@ -1,0 +1,101 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestQueryCommand:
+    def test_distinct_query_runs_and_verifies(self, capsys):
+        code = main(
+            ["query", "SELECT DISTINCT userAgent FROM UserVisits", "--rows", "5000"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "verified" in out
+        assert "pruned" in out
+
+    def test_filter_query(self, capsys):
+        code = main(
+            ["query", "SELECT COUNT(*) FROM Rankings WHERE avgDuration < 10",
+             "--rows", "5000"]
+        )
+        assert code == 0
+        assert "cheetah" in capsys.readouterr().out
+
+    def test_skyline_query_permutes(self, capsys):
+        code = main(
+            ["query", "SELECT pageURL FROM Rankings SKYLINE OF pageRank, avgDuration",
+             "--rows", "4000"]
+        )
+        assert code == 0
+
+    def test_no_verify_flag(self, capsys):
+        code = main(
+            ["query", "SELECT DISTINCT userAgent FROM UserVisits",
+             "--rows", "4000", "--no-verify"]
+        )
+        assert code == 0
+        assert "unverified" in capsys.readouterr().out
+
+    def test_worker_and_network_flags(self, capsys):
+        code = main(
+            ["query", "SELECT DISTINCT userAgent FROM UserVisits",
+             "--rows", "4000", "--workers", "3", "--network-gbps", "20"]
+        )
+        assert code == 0
+
+    def test_bad_sql_returns_error_code(self, capsys):
+        code = main(["query", "SELECT BROKEN"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestOtherCommands:
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "DISTINCT-LRU" in out
+        assert "JOIN-RBF" in out
+
+    def test_workloads(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "Rankings" in out and "UserVisits" in out
+        assert "Q4-topn" in out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestExplainCommand:
+    def test_explain_prints_plan(self, capsys):
+        assert main(["explain", "SELECT DISTINCT seller FROM Products"]) == 0
+        out = capsys.readouterr().out
+        assert "DistinctPruner" in out
+
+    def test_explain_bad_sql(self, capsys):
+        assert main(["explain", "SELECT"]) == 1
+
+
+class TestCsvOption:
+    def test_query_over_csv_table(self, capsys, tmp_path):
+        path = tmp_path / "ratings.csv"
+        path.write_text(
+            "name,taste,texture\nPizza,7,5\nCheetos,8,6\nJello,9,4\n"
+        )
+        code = main(
+            ["query", "SELECT DISTINCT name FROM Ratings",
+             "--csv", f"Ratings={path}", "--rows", "1000"]
+        )
+        assert code == 0
+        assert "verified" in capsys.readouterr().out
+
+    def test_malformed_csv_spec(self, capsys):
+        code = main(
+            ["query", "SELECT DISTINCT name FROM Ratings", "--csv", "nonsense"]
+        )
+        assert code == 1

@@ -1,0 +1,164 @@
+"""Tests for DISTINCT pruning (repro.core.distinct)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.base import Guarantee, PruneDecision
+from repro.core.distinct import (
+    DistinctPruner,
+    FingerprintDistinctPruner,
+    master_distinct,
+)
+from repro.errors import ConfigurationError, ResourceError
+from repro.switch.resources import MINI
+from repro.workloads.synthetic import random_order_stream
+
+
+class TestDistinctPruner:
+    def test_first_occurrence_forwarded(self):
+        pruner = DistinctPruner(rows=16, cols=2)
+        assert pruner.process("a") is PruneDecision.FORWARD
+
+    def test_cached_duplicate_pruned(self):
+        pruner = DistinctPruner(rows=16, cols=2)
+        pruner.process("a")
+        assert pruner.process("a") is PruneDecision.PRUNE
+
+    def test_contract_on_random_stream(self):
+        # The deterministic pruning contract: DISTINCT(survivors) ==
+        # DISTINCT(stream), for any stream and any matrix size.
+        stream = random_order_stream(3000, 400, seed=7)
+        for rows, cols in [(1, 1), (4, 2), (64, 2), (512, 4)]:
+            pruner = DistinctPruner(rows=rows, cols=cols)
+            survivors = pruner.survivors(stream)
+            assert set(master_distinct(survivors)) == set(stream)
+
+    def test_large_matrix_prunes_all_duplicates(self):
+        stream = random_order_stream(5000, 100, seed=3)
+        pruner = DistinctPruner(rows=4096, cols=2)
+        survivors = pruner.survivors(stream)
+        assert len(survivors) == 100  # exactly one per distinct value
+
+    def test_small_matrix_still_correct_but_prunes_less(self):
+        stream = random_order_stream(5000, 1000, seed=5)
+        small = DistinctPruner(rows=8, cols=1)
+        large = DistinctPruner(rows=1024, cols=2)
+        small_fwd = len(small.survivors(stream))
+        large_fwd = len(large.survivors(list(stream)))
+        assert small_fwd > large_fwd
+
+    def test_theorem1_bound_on_duplicate_pruning(self):
+        # Random-order stream, D > d ln(200 d): pruned duplicates should
+        # be at least the Theorem 1 expectation (generous 0.8 slack).
+        d, w = 64, 2
+        distinct = 2000  # > 64 * ln(12800) ~ 605
+        stream = random_order_stream(20_000, distinct, seed=11)
+        pruner = DistinctPruner(rows=d, cols=w)
+        survivors = pruner.survivors(stream)
+        duplicates = len(stream) - distinct
+        pruned = len(stream) - len(survivors)
+        from repro.core.sizing import distinct_expected_pruning
+
+        bound = distinct_expected_pruning(distinct, d, w)
+        assert pruned / duplicates >= bound * 0.8
+
+    def test_lru_beats_fifo_on_skewed_stream(self):
+        rng = random.Random(2)
+        # Hot values repeat frequently: LRU keeps them cached.
+        stream = [rng.choice(range(10)) if rng.random() < 0.8 else rng.randrange(10_000)
+                  for _ in range(5000)]
+        lru = DistinctPruner(rows=4, cols=2, policy="lru")
+        fifo = DistinctPruner(rows=4, cols=2, policy="fifo")
+        lru_rate = 1 - len(lru.survivors(stream)) / len(stream)
+        fifo_rate = 1 - len(fifo.survivors(list(stream))) / len(stream)
+        assert lru_rate >= fifo_rate
+
+    def test_reset_clears_cache_and_stats(self):
+        pruner = DistinctPruner(rows=4, cols=2)
+        pruner.process("a")
+        pruner.reset()
+        assert pruner.stats.processed == 0
+        assert pruner.process("a") is PruneDecision.FORWARD
+
+    def test_guarantee_is_deterministic(self):
+        assert DistinctPruner().guarantee is Guarantee.DETERMINISTIC
+
+    def test_footprint_matches_configuration(self):
+        pruner = DistinctPruner(rows=4096, cols=2, policy="lru")
+        fp = pruner.footprint()
+        assert fp.stages == 2
+        assert fp.sram_bits == 4096 * 2 * 64
+
+    def test_validate_against_small_model(self):
+        pruner = DistinctPruner(rows=1 << 16, cols=8)
+        with pytest.raises(ResourceError):
+            pruner.validate(MINI)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ConfigurationError):
+            DistinctPruner(rows=0)
+
+
+class TestFingerprintDistinctPruner:
+    def test_guarantee_is_probabilistic(self):
+        pruner = FingerprintDistinctPruner(expected_distinct=1000)
+        assert pruner.guarantee is Guarantee.PROBABILISTIC
+
+    def test_multi_column_keys(self):
+        pruner = FingerprintDistinctPruner(rows=64, cols=2, expected_distinct=100)
+        assert pruner.process(("a", 1)) is PruneDecision.FORWARD
+        assert pruner.process(("a", 1)) is PruneDecision.PRUNE
+        assert pruner.process(("a", 2)) is PruneDecision.FORWARD
+
+    def test_correct_with_theorem4_sizing(self):
+        # delta = 1e-4 sizing: on a 2000-distinct stream no output value
+        # should be lost to a fingerprint collision.
+        stream = random_order_stream(10_000, 2000, seed=13)
+        pruner = FingerprintDistinctPruner(
+            rows=256, cols=2, expected_distinct=2000, delta=1e-4, seed=13
+        )
+        survivors = pruner.survivors(stream)
+        assert set(survivors) == set(stream)  # every distinct value survives
+
+    def test_tiny_fingerprints_do_collide(self):
+        # Sanity check of the failure mode Theorem 4 protects against.
+        stream = random_order_stream(20_000, 5000, seed=17)
+        pruner = FingerprintDistinctPruner(
+            rows=64, cols=4, expected_distinct=5000, fingerprint_bits=8, seed=17
+        )
+        survivors = set(pruner.survivors(stream))
+        assert len(survivors) < 5000  # collisions wrongly pruned some values
+
+    def test_explicit_bits_override(self):
+        pruner = FingerprintDistinctPruner(expected_distinct=10, fingerprint_bits=16)
+        assert pruner.scheme.bits == 16
+
+    def test_invalid_expected_distinct(self):
+        with pytest.raises(ConfigurationError):
+            FingerprintDistinctPruner(expected_distinct=0)
+
+    def test_footprint_uses_fingerprint_width(self):
+        pruner = FingerprintDistinctPruner(
+            rows=128, cols=2, expected_distinct=100, fingerprint_bits=32
+        )
+        assert pruner.footprint().sram_bits == 128 * 2 * 32
+
+    def test_reset(self):
+        pruner = FingerprintDistinctPruner(rows=16, cols=2, expected_distinct=10)
+        pruner.process("x")
+        pruner.reset()
+        assert pruner.process("x") is PruneDecision.FORWARD
+
+
+class TestMasterDistinct:
+    def test_removes_false_negatives(self):
+        assert master_distinct(["a", "b", "a", "c", "b"]) == ["a", "b", "c"]
+
+    def test_preserves_first_seen_order(self):
+        assert master_distinct([3, 1, 3, 2]) == [3, 1, 2]
+
+    def test_empty(self):
+        assert master_distinct([]) == []

@@ -1,0 +1,69 @@
+"""Documentation-coverage checks: every public item carries a docstring.
+
+The deliverable requires doc comments on every public item; this test
+walks the package and enforces it mechanically, so regressions fail CI
+rather than review.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+SKIP_NAMES = {"__main__"}
+
+
+def _iter_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        short = info.name.rsplit(".", 1)[-1]
+        if short in SKIP_NAMES:
+            continue
+        yield importlib.import_module(info.name)
+
+
+MODULES = list(_iter_modules())
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_has_docstring(module):
+    assert module.__doc__ and module.__doc__.strip(), f"{module.__name__} lacks a docstring"
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_public_classes_and_functions_documented(module):
+    undocumented = []
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue  # re-export; documented at its definition site
+        if not (obj.__doc__ and obj.__doc__.strip()):
+            undocumented.append(name)
+        if inspect.isclass(obj):
+            for method_name, method in vars(obj).items():
+                if method_name.startswith("_"):
+                    continue
+                if not inspect.isfunction(method):
+                    continue
+                if method.__doc__ and method.__doc__.strip():
+                    continue
+                # An override inherits its contract from a documented base
+                # method (standard Python convention).
+                inherited = any(
+                    getattr(base, method_name, None) is not None
+                    and getattr(base, method_name).__doc__
+                    for base in obj.__mro__[1:]
+                )
+                if not inherited:
+                    undocumented.append(f"{name}.{method_name}")
+    assert not undocumented, (
+        f"{module.__name__}: missing docstrings on {sorted(undocumented)}"
+    )

@@ -1,0 +1,68 @@
+"""Every example script must run to completion (scaled down where slow)."""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def _run(script: str, argv=()):
+    old_argv = sys.argv
+    sys.argv = [script, *argv]
+    try:
+        runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_quickstart_runs(capsys):
+    _run("quickstart.py")
+    out = capsys.readouterr().out
+    assert "McCheetah" in out
+    assert "pruned" in out
+
+
+def test_bigdata_benchmark_runs(capsys):
+    _run("bigdata_benchmark.py", ["--rows", "8000"])
+    out = capsys.readouterr().out
+    assert "Q5-groupby" in out
+    assert "verified" in out
+
+
+def test_tpch_q3_runs(capsys):
+    _run("tpch_q3.py")
+    out = capsys.readouterr().out
+    assert "top 10 orders" in out
+    assert "netaccel drain" in out
+
+
+def test_reliability_demo_runs(capsys):
+    _run("reliability_demo.py")
+    out = capsys.readouterr().out
+    assert "exact" in out
+
+
+def test_multi_query_packing_runs(capsys):
+    _run("multi_query_packing.py")
+    out = capsys.readouterr().out
+    assert "rejected by the compiler" in out
+    assert "fits" in out
+
+
+def test_sql_interface_runs(capsys):
+    _run("sql_interface.py")
+    out = capsys.readouterr().out
+    assert "SKYLINE" in out
+    assert "verified equal" in out
+
+
+def test_extensions_demo_runs(capsys):
+    _run("extensions_demo.py")
+    out = capsys.readouterr().out
+    assert "switch tree" in out
+    assert "verified exact" in out

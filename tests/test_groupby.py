@@ -1,0 +1,116 @@
+"""Tests for GROUP BY pruning (repro.core.groupby)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.base import Guarantee, PruneDecision
+from repro.core.groupby import GroupByPruner, master_groupby
+from repro.errors import ConfigurationError
+from repro.workloads.synthetic import keyed_values
+
+
+def _reference(stream, aggregate="max"):
+    best = {}
+    for key, value in stream:
+        if key not in best:
+            best[key] = value
+        elif aggregate == "max" and value > best[key]:
+            best[key] = value
+        elif aggregate == "min" and value < best[key]:
+            best[key] = value
+    return best
+
+
+class TestGroupByPruner:
+    def test_first_key_occurrence_forwarded(self):
+        pruner = GroupByPruner(rows=16, cols=2)
+        assert pruner.process(("k", 5.0)) is PruneDecision.FORWARD
+
+    def test_non_improving_value_pruned(self):
+        pruner = GroupByPruner(rows=16, cols=2)
+        pruner.process(("k", 5.0))
+        assert pruner.process(("k", 3.0)) is PruneDecision.PRUNE
+
+    def test_improving_value_forwarded(self):
+        pruner = GroupByPruner(rows=16, cols=2)
+        pruner.process(("k", 5.0))
+        assert pruner.process(("k", 8.0)) is PruneDecision.FORWARD
+
+    @pytest.mark.parametrize("aggregate", ["max", "min"])
+    def test_contract_on_random_streams(self, aggregate):
+        stream = keyed_values(5000, 200, seed=3)
+        for rows, cols in [(1, 1), (16, 2), (256, 4)]:
+            pruner = GroupByPruner(aggregate=aggregate, rows=rows, cols=cols)
+            survivors = pruner.survivors(stream)
+            assert master_groupby(survivors, aggregate) == _reference(
+                stream, aggregate
+            )
+
+    def test_contract_under_heavy_eviction(self):
+        # One cell total: constant eviction; correctness must survive.
+        rng = random.Random(7)
+        stream = [(rng.randrange(50), rng.uniform(0, 100)) for _ in range(3000)]
+        pruner = GroupByPruner(rows=1, cols=1)
+        survivors = pruner.survivors(stream)
+        assert master_groupby(survivors, "max") == _reference(stream, "max")
+
+    def test_large_matrix_approaches_opt(self):
+        from repro.analysis.opt import opt_groupby_unpruned
+
+        stream = keyed_values(10_000, 100, seed=5)
+        pruner = GroupByPruner(rows=4096, cols=8)
+        survivors = pruner.survivors(stream)
+        opt = opt_groupby_unpruned(stream, "max")
+        assert len(survivors) <= opt * 1.2
+
+    def test_min_direction(self):
+        pruner = GroupByPruner(aggregate="min", rows=16, cols=2)
+        pruner.process(("k", 5.0))
+        assert pruner.process(("k", 7.0)) is PruneDecision.PRUNE
+        assert pruner.process(("k", 2.0)) is PruneDecision.FORWARD
+
+    def test_unknown_aggregate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GroupByPruner(aggregate="sum")  # SUM needs the HAVING sketch path
+
+    def test_guarantee(self):
+        assert GroupByPruner().guarantee is Guarantee.DETERMINISTIC
+
+    def test_footprint(self):
+        fp = GroupByPruner(rows=4096, cols=8).footprint()
+        assert fp.stages == 8
+        assert fp.sram_bits == 4096 * 8 * 64
+
+    def test_reset(self):
+        pruner = GroupByPruner(rows=4, cols=2)
+        pruner.process(("k", 1.0))
+        pruner.reset()
+        assert pruner.process(("k", 1.0)) is PruneDecision.FORWARD
+        assert pruner.stats.processed == 1
+
+    def test_keys_of_mixed_types(self):
+        pruner = GroupByPruner(rows=8, cols=2)
+        pruner.process(("str-key", 1.0))
+        pruner.process((42, 1.0))
+        assert pruner.process(("str-key", 0.5)) is PruneDecision.PRUNE
+
+
+class TestMasterGroupBy:
+    def test_max(self):
+        assert master_groupby([("a", 1.0), ("a", 5.0), ("b", 2.0)]) == {
+            "a": 5.0,
+            "b": 2.0,
+        }
+
+    def test_min(self):
+        assert master_groupby([("a", 1.0), ("a", 5.0)], "min") == {"a": 1.0}
+
+    def test_empty(self):
+        assert master_groupby([]) == {}
+
+    def test_invalid_aggregate(self):
+        with pytest.raises(ConfigurationError):
+            master_groupby([], "median")

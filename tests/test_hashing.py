@@ -1,0 +1,145 @@
+"""Tests for the seeded hash family (repro.sketches.hashing)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sketches.hashing import (
+    canonical_int,
+    combine,
+    fingerprint,
+    hash64,
+    hash_family,
+    hash_range,
+)
+
+
+class TestCanonicalInt:
+    def test_int_maps_to_itself(self):
+        assert canonical_int(42) == 42
+
+    def test_negative_int_wraps_to_64_bits(self):
+        assert canonical_int(-1) == (1 << 64) - 1
+
+    def test_bool_is_not_treated_as_plain_int_one(self):
+        # bool goes through its own branch but keeps int semantics.
+        assert canonical_int(True) == 1
+        assert canonical_int(False) == 0
+
+    def test_string_is_stable(self):
+        assert canonical_int("cheetah") == canonical_int("cheetah")
+
+    def test_different_strings_differ(self):
+        assert canonical_int("cheetah") != canonical_int("cheetha")
+
+    def test_bytes_and_equal_string_share_encoding(self):
+        assert canonical_int(b"abc") == canonical_int("abc")
+
+    def test_float_uses_bit_pattern(self):
+        assert canonical_int(1.5) == canonical_int(1.5)
+        assert canonical_int(1.5) != canonical_int(1.50000001)
+
+    def test_numpy_integer_supported(self):
+        assert canonical_int(np.int64(7)) == canonical_int(7)
+
+    def test_numpy_float_supported(self):
+        assert canonical_int(np.float64(2.5)) == canonical_int(2.5)
+
+    def test_tuple_is_order_sensitive(self):
+        assert canonical_int((1, 2)) != canonical_int((2, 1))
+
+    def test_nested_tuple_supported(self):
+        assert canonical_int(((1, "a"), 2)) == canonical_int(((1, "a"), 2))
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            canonical_int([1, 2, 3])
+
+
+class TestHash64:
+    def test_deterministic(self):
+        assert hash64("x", seed=3) == hash64("x", seed=3)
+
+    def test_seed_changes_output(self):
+        assert hash64("x", seed=1) != hash64("x", seed=2)
+
+    def test_output_fits_64_bits(self):
+        for value in (0, 1, "abc", (1, 2, 3)):
+            assert 0 <= hash64(value) < 1 << 64
+
+    def test_avalanche_on_adjacent_ints(self):
+        # Adjacent inputs should differ in roughly half the bits.
+        diff = hash64(1000) ^ hash64(1001)
+        assert 16 <= bin(diff).count("1") <= 48
+
+
+class TestHashRange:
+    def test_in_range(self):
+        for i in range(200):
+            assert 0 <= hash_range(i, 7) < 7
+
+    def test_range_one_always_zero(self):
+        assert hash_range("anything", 1) == 0
+
+    def test_invalid_range_raises(self):
+        with pytest.raises(ValueError):
+            hash_range(1, 0)
+
+    def test_roughly_uniform(self):
+        n = 10
+        counts = [0] * n
+        for i in range(5000):
+            counts[hash_range(i, n)] += 1
+        assert min(counts) > 300  # expectation 500 per bucket
+        assert max(counts) < 700
+
+
+class TestHashFamily:
+    def test_returns_requested_count(self):
+        fns = hash_family(5, 100)
+        assert len(fns) == 5
+
+    def test_functions_are_independent(self):
+        f1, f2 = hash_family(2, 1 << 30)
+        collisions = sum(1 for i in range(1000) if f1(i) == f2(i))
+        assert collisions <= 2
+
+    def test_zero_count_raises(self):
+        with pytest.raises(ValueError):
+            hash_family(0, 10)
+
+    def test_functions_stay_in_range(self):
+        for fn in hash_family(3, 13):
+            assert all(0 <= fn(i) < 13 for i in range(100))
+
+
+class TestFingerprint:
+    def test_width_respected(self):
+        for bits in (1, 8, 16, 32, 64):
+            assert 0 <= fingerprint("v", bits) < 1 << bits
+
+    def test_invalid_width_raises(self):
+        with pytest.raises(ValueError):
+            fingerprint("v", 0)
+        with pytest.raises(ValueError):
+            fingerprint("v", 65)
+
+    def test_deterministic(self):
+        assert fingerprint((1, "a"), 32, seed=9) == fingerprint((1, "a"), 32, seed=9)
+
+    def test_collision_rate_matches_width(self):
+        # 16-bit fingerprints over 500 values: expected ~1.9 colliding pairs.
+        values = {fingerprint(i, 16) for i in range(500)}
+        assert len(values) > 480
+
+
+class TestCombine:
+    def test_order_sensitive(self):
+        assert combine([1, 2, 3]) != combine([3, 2, 1])
+
+    def test_deterministic(self):
+        assert combine(["a", "b"], seed=4) == combine(["a", "b"], seed=4)
+
+    def test_empty_is_seed_dependent(self):
+        assert combine([], seed=1) != combine([], seed=2)

@@ -1,0 +1,119 @@
+"""Tests for the late-materialization model (repro.engine.materialization)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.materialization import (
+    FetchModel,
+    fetch_plan_summary,
+    materialize_rows,
+)
+from repro.engine.table import Table
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def table():
+    return Table(
+        "t",
+        {
+            "id": np.arange(100),
+            "payload": np.arange(100) * 10,
+        },
+    )
+
+
+class TestFetchModel:
+    def test_wire_bytes_scale_with_rows(self):
+        model = FetchModel()
+        assert model.wire_bytes(1000) > model.wire_bytes(100) * 5
+
+    def test_zero_rows_zero_payload(self):
+        model = FetchModel()
+        assert model.wire_bytes(0) == 0
+        assert model.packets(0) == 0
+
+    def test_compression_reduces_bytes(self):
+        tight = FetchModel(compression_ratio=0.2)
+        loose = FetchModel(compression_ratio=1.0)
+        assert tight.wire_bytes(10_000) < loose.wire_bytes(10_000)
+
+    def test_mtu_packing_many_rows_per_frame(self):
+        model = FetchModel(bytes_per_row=100, compression_ratio=1.0, mtu_bytes=1500)
+        # 15 rows fit one frame.
+        assert model.packets(15) == 1
+        assert model.packets(16) == 2
+
+    def test_fetch_seconds_uses_rate(self):
+        slow = FetchModel(network_gbps=10)
+        fast = FetchModel(network_gbps=20)
+        assert slow.fetch_seconds(10_000) == pytest.approx(
+            2 * fast.fetch_seconds(10_000)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FetchModel(bytes_per_row=0)
+        with pytest.raises(ConfigurationError):
+            FetchModel(compression_ratio=0.0)
+        with pytest.raises(ConfigurationError):
+            FetchModel(network_gbps=0)
+        with pytest.raises(ConfigurationError):
+            FetchModel().wire_bytes(-1)
+
+
+class TestMaterializeRows:
+    def test_fetches_requested_rows(self, table):
+        fetched = materialize_rows(table, [3, 7])
+        assert fetched["payload"].tolist() == [30, 70]
+
+    def test_deduplicates_ids(self, table):
+        # Retransmissions can deliver duplicate survivors; fetch once.
+        fetched = materialize_rows(table, [5, 5, 5])
+        assert fetched.num_rows == 1
+
+    def test_out_of_range_rejected(self, table):
+        with pytest.raises(ConfigurationError):
+            materialize_rows(table, [100])
+
+    def test_empty_request(self, table):
+        assert materialize_rows(table, []).num_rows == 0
+
+
+class TestEndToEndFetch:
+    def test_filter_query_with_materialization(self, table):
+        """Metadata pass prunes, fetch returns the exact matching rows."""
+        from repro.engine.cluster import Cluster
+        from repro.engine.expressions import col
+        from repro.engine.plan import FilterOp, Query
+
+        query = Query(FilterOp("t", col("payload") > 900))
+        result = Cluster(workers=2).run_verified(query, {"t": table})
+        fetched = materialize_rows(table, sorted(result.output))
+        assert fetched.num_rows == len(result.output)
+        assert all(fetched["payload"] > 900)
+
+    def test_fetch_identical_with_and_without_cheetah(self, table):
+        # The paper's point: pruning only touches the metadata pass; the
+        # fetch leg is byte-identical either way.
+        from repro.engine.cluster import Cluster
+        from repro.engine.expressions import col
+        from repro.engine.plan import FilterOp, Query
+
+        query = Query(FilterOp("t", col("payload") > 500))
+        cluster = Cluster(workers=2)
+        with_switch = cluster.run(query, {"t": table}, use_cheetah=True)
+        without = cluster.run(query, {"t": table}, use_cheetah=False)
+        model = FetchModel()
+        assert model.wire_bytes(len(with_switch.output)) == model.wire_bytes(
+            len(without.output)
+        )
+
+    def test_fetch_plan_summary_fields(self):
+        summary = fetch_plan_summary(10_000, 500, 500, FetchModel())
+        assert summary["metadata_entries"] == 10_000
+        assert summary["fetch_rows"] == 500
+        assert summary["fetch_seconds"] > 0
+        assert summary["fetch_bytes"] < summary["metadata_bytes"]

@@ -1,0 +1,80 @@
+"""Tests for the Monte-Carlo guarantee harness (repro.analysis.montecarlo)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.montecarlo import FailureEstimate, estimate_failure_rate
+from repro.core.topn import TopNRandomizedPruner, master_topn
+from repro.errors import ConfigurationError
+
+
+class TestFailureEstimate:
+    def test_rate(self):
+        assert FailureEstimate(trials=50, failures=5).rate == 0.1
+
+    def test_wilson_interval_contains_rate(self):
+        estimate = FailureEstimate(trials=100, failures=10)
+        lower, upper = estimate.wilson_interval()
+        assert lower < 0.1 < upper
+
+    def test_zero_failures_interval_starts_at_zero(self):
+        lower, upper = FailureEstimate(trials=60, failures=0).wilson_interval()
+        assert lower == 0.0
+        assert upper > 0.0  # no free certainty from finite trials
+
+    def test_consistency_check_direction(self):
+        # 30 failures in 60 trials refute delta = 1e-4...
+        bad = FailureEstimate(trials=60, failures=30)
+        assert not bad.consistent_with(1e-4)
+        # ...but 0 failures are consistent with it.
+        good = FailureEstimate(trials=60, failures=0)
+        assert good.consistent_with(1e-4)
+
+    def test_interval_bounds_clamped(self):
+        lower, upper = FailureEstimate(trials=3, failures=3).wilson_interval()
+        assert 0.0 <= lower <= upper <= 1.0
+
+
+class TestEstimateFailureRate:
+    def test_topn_guarantee_not_refuted(self):
+        rng = random.Random(1)
+        stream = [rng.random() for _ in range(3000)]
+        n, delta = 30, 0.01
+        expected = sorted(master_topn(stream, n))
+
+        estimate = estimate_failure_rate(
+            make_pruner=lambda seed: TopNRandomizedPruner(
+                n=n, rows=512, delta=delta, seed=seed
+            ),
+            stream=stream,
+            is_correct=lambda survivors: sorted(master_topn(survivors, n))
+            == expected,
+            trials=30,
+        )
+        assert estimate.consistent_with(delta)
+
+    def test_undersized_matrix_fails_often(self):
+        # Sanity: a deliberately broken configuration (w forced to 1)
+        # should fail at a rate the harness can measure.
+        rng = random.Random(2)
+        stream = [rng.random() for _ in range(2000)]
+        n = 50
+        expected = sorted(master_topn(stream, n))
+        estimate = estimate_failure_rate(
+            make_pruner=lambda seed: TopNRandomizedPruner(
+                n=n, rows=8, cols=1, seed=seed
+            ),
+            stream=stream,
+            is_correct=lambda survivors: sorted(master_topn(survivors, n))
+            == expected,
+            trials=20,
+        )
+        assert estimate.failures > 10
+        assert not estimate.consistent_with(1e-4)
+
+    def test_invalid_trials(self):
+        with pytest.raises(ConfigurationError):
+            estimate_failure_rate(lambda s: None, [], lambda s: True, trials=0)

@@ -1,0 +1,295 @@
+"""Property-based tests (hypothesis) for the library's core invariants.
+
+These encode DESIGN.md §5: the pruning contract for every deterministic
+operator on arbitrary streams, one-sidedness of the sketches, soundness of
+the formula relaxation, and protocol correctness under arbitrary loss.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.distinct import DistinctPruner, master_distinct
+from repro.core.filtering import And, Atom, FilterPruner, Not, Or, Var
+from repro.core.groupby import GroupByPruner, master_groupby
+from repro.core.having import HavingPruner, master_having, reference_having
+from repro.core.join import JoinPruner, master_join
+from repro.core.skyline import SkylinePruner, master_skyline
+from repro.core.topn import TopNDeterministicPruner, master_topn
+from repro.core.base import PruneDecision
+from repro.net.reliability import ReliableTransfer, packets_for
+from repro.sketches.bloom import BloomFilter, RegisterBloomFilter
+from repro.sketches.cachematrix import CacheMatrix, RollingMinMatrix
+from repro.sketches.countmin import CountMinSketch
+
+_SETTINGS = settings(
+    max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+keys = st.integers(min_value=0, max_value=30)
+values = st.integers(min_value=-100, max_value=100)
+
+
+class TestPruningContracts:
+    """Q(survivors) == Q(D) for every deterministic pruner, any stream."""
+
+    @_SETTINGS
+    @given(
+        stream=st.lists(keys, max_size=300),
+        rows=st.integers(1, 16),
+        cols=st.integers(1, 4),
+        policy=st.sampled_from(["lru", "fifo"]),
+    )
+    def test_distinct(self, stream, rows, cols, policy):
+        pruner = DistinctPruner(rows=rows, cols=cols, policy=policy)
+        survivors = pruner.survivors(stream)
+        assert set(master_distinct(survivors)) == set(stream)
+
+    @_SETTINGS
+    @given(
+        stream=st.lists(st.floats(-1e6, 1e6, allow_nan=False), max_size=300),
+        n=st.integers(1, 20),
+        thresholds=st.integers(1, 6),
+    )
+    def test_topn_deterministic(self, stream, n, thresholds):
+        pruner = TopNDeterministicPruner(n=n, thresholds=thresholds)
+        survivors = pruner.survivors(stream)
+        assert sorted(master_topn(survivors, n)) == sorted(master_topn(stream, n))
+
+    @_SETTINGS
+    @given(
+        stream=st.lists(st.tuples(keys, st.floats(-100, 100, allow_nan=False)), max_size=300),
+        rows=st.integers(1, 8),
+        cols=st.integers(1, 3),
+        aggregate=st.sampled_from(["max", "min"]),
+    )
+    def test_groupby(self, stream, rows, cols, aggregate):
+        pruner = GroupByPruner(aggregate=aggregate, rows=rows, cols=cols)
+        survivors = pruner.survivors(stream)
+        expected = {}
+        for key, value in stream:
+            if key not in expected:
+                expected[key] = value
+            elif aggregate == "max" and value > expected[key]:
+                expected[key] = value
+            elif aggregate == "min" and value < expected[key]:
+                expected[key] = value
+        assert master_groupby(survivors, aggregate) == expected
+
+    @_SETTINGS
+    @given(
+        left=st.lists(st.integers(0, 50), max_size=150),
+        right=st.lists(st.integers(0, 50), max_size=150),
+        memory=st.sampled_from([256, 4096, 1 << 16]),
+        variant=st.sampled_from(["bf", "rbf"]),
+    )
+    def test_join(self, left, right, memory, variant):
+        pruner = JoinPruner("L", "R", memory_bits=memory, variant=variant)
+        pruner.build(left, right)
+        left_surv = [k for k in left if pruner.process(("L", k)) is PruneDecision.FORWARD]
+        right_surv = [k for k in right if pruner.process(("R", k)) is PruneDecision.FORWARD]
+        got = Counter(k for k, _, _ in master_join(
+            [(k, None) for k in left_surv], [(k, None) for k in right_surv]
+        ))
+        expected = Counter(k for k, _, _ in master_join(
+            [(k, None) for k in left], [(k, None) for k in right]
+        ))
+        assert got == expected
+
+    @_SETTINGS
+    @given(
+        stream=st.lists(st.tuples(keys, st.integers(0, 50)), max_size=300),
+        threshold=st.integers(0, 200),
+        width=st.sampled_from([8, 64, 512]),
+    )
+    def test_having_sum(self, stream, threshold, width):
+        data = [(k, float(v)) for k, v in stream]
+        pruner = HavingPruner(threshold=threshold, width=width, depth=3)
+        candidates = {
+            entry[0]
+            for entry in data
+            if pruner.process(entry) is PruneDecision.FORWARD
+        }
+        answer = set(master_having(candidates, data, threshold))
+        assert answer == set(reference_having(data, threshold))
+
+    @_SETTINGS
+    @given(
+        points=st.lists(
+            st.tuples(st.integers(0, 1000), st.integers(0, 1000)), max_size=200
+        ),
+        w=st.integers(1, 8),
+        score=st.sampled_from(["sum", "product", "aph"]),
+    )
+    def test_skyline(self, points, w, score):
+        float_points = [(float(a), float(b)) for a, b in points]
+        pruner = SkylinePruner(dims=2, points=w, score=score)
+        received = []
+        for point in float_points:
+            if pruner.process(point) is PruneDecision.FORWARD:
+                received.append(pruner.last_carried)
+        received.extend(pruner.drain())
+        assert set(master_skyline(received)) == set(master_skyline(float_points))
+
+
+class TestSketchInvariants:
+    @_SETTINGS
+    @given(items=st.lists(st.integers(), max_size=200), size=st.sampled_from([128, 1024]))
+    def test_bloom_no_false_negatives(self, items, size):
+        bf = BloomFilter(size, hashes=3)
+        bf.update(items)
+        assert all(item in bf for item in items)
+
+    @_SETTINGS
+    @given(items=st.lists(st.integers(), max_size=200))
+    def test_register_bloom_no_false_negatives(self, items):
+        rbf = RegisterBloomFilter(1 << 12, hashes=3)
+        rbf.update(items)
+        assert all(item in rbf for item in items)
+
+    @_SETTINGS
+    @given(
+        pairs=st.lists(st.tuples(keys, st.integers(0, 20)), max_size=200),
+        width=st.sampled_from([4, 32, 256]),
+        conservative=st.booleans(),
+    )
+    def test_countmin_one_sided(self, pairs, width, conservative):
+        cms = CountMinSketch(width=width, depth=3, conservative=conservative)
+        truth: dict = {}
+        for key, amount in pairs:
+            cms.add(key, amount)
+            truth[key] = truth.get(key, 0) + amount
+        assert all(cms.estimate(k) >= v for k, v in truth.items())
+
+    @_SETTINGS
+    @given(stream=st.lists(keys, max_size=200), rows=st.integers(1, 8), cols=st.integers(1, 4))
+    def test_cache_matrix_no_false_positives(self, stream, rows, cols):
+        matrix = CacheMatrix(rows, cols)
+        seen = set()
+        for value in stream:
+            hit = matrix.lookup_insert(value)
+            if hit:
+                assert value in seen
+            seen.add(value)
+
+    @_SETTINGS
+    @given(
+        stream=st.lists(st.floats(-1e6, 1e6, allow_nan=False), max_size=200),
+        cols=st.integers(1, 5),
+    )
+    def test_rolling_min_keeps_w_largest(self, stream, cols):
+        matrix = RollingMinMatrix(rows=1, cols=cols)
+        for value in stream:
+            matrix.offer(value, 0)
+        stored = matrix.row_values(0)
+        expected = sorted(stream, reverse=True)[: len(stored)]
+        assert stored == expected
+
+
+class TestFormulaRelaxation:
+    """Polarity-aware relaxation is sound: original implies relaxed."""
+
+    @staticmethod
+    def _formula(structure, atoms):
+        """Build a formula from a nested spec of ints/tuples."""
+        kind, payload = structure
+        if kind == "var":
+            return Var(atoms[payload % len(atoms)])
+        if kind == "not":
+            return Not(TestFormulaRelaxation._formula(payload, atoms))
+        children = [TestFormulaRelaxation._formula(c, atoms) for c in payload]
+        return And(*children) if kind == "and" else Or(*children)
+
+    formula_spec = st.deferred(
+        lambda: st.one_of(
+            st.tuples(st.just("var"), st.integers(0, 5)),
+            st.tuples(st.just("not"), TestFormulaRelaxation.formula_spec),
+            st.tuples(
+                st.just("and"),
+                st.lists(TestFormulaRelaxation.formula_spec, min_size=1, max_size=3),
+            ),
+            st.tuples(
+                st.just("or"),
+                st.lists(TestFormulaRelaxation.formula_spec, min_size=1, max_size=3),
+            ),
+        )
+    )
+
+    @_SETTINGS
+    @given(
+        spec=formula_spec,
+        supported_mask=st.lists(st.booleans(), min_size=6, max_size=6),
+        assignment=st.lists(st.booleans(), min_size=6, max_size=6),
+    )
+    def test_original_implies_relaxed(self, spec, supported_mask, assignment):
+        atoms = [
+            Atom(
+                name=f"x{i}",
+                evaluate=(lambda e, i=i: e[i]),
+                supported=supported_mask[i],
+            )
+            for i in range(6)
+        ]
+        formula = self._formula(spec, atoms)
+        relaxed = formula.relax().simplify()
+        entry = tuple(assignment)
+        if formula.evaluate(entry):
+            assert relaxed.evaluate(entry)
+
+    @_SETTINGS
+    @given(
+        spec=formula_spec,
+        supported_mask=st.lists(st.booleans(), min_size=6, max_size=6),
+    )
+    def test_filter_pruner_never_drops_matching_entries(self, spec, supported_mask):
+        atoms = [
+            Atom(
+                name=f"x{i}",
+                evaluate=(lambda e, i=i: e[i]),
+                supported=supported_mask[i],
+            )
+            for i in range(6)
+        ]
+        formula = self._formula(spec, atoms)
+        pruner = FilterPruner(formula)
+        for bits in range(64):
+            entry = tuple(bool(bits >> i & 1) for i in range(6))
+            if formula.evaluate(entry):
+                assert pruner.process(entry) is PruneDecision.FORWARD
+
+
+class TestReliabilityProperties:
+    @_SETTINGS
+    @given(
+        entries=st.lists(st.integers(0, 40), min_size=1, max_size=80),
+        loss=st.floats(0.0, 0.45),
+        seed=st.integers(0, 1000),
+    )
+    def test_distinct_correct_under_any_loss(self, entries, loss, seed):
+        transfer = ReliableTransfer(
+            DistinctPruner(rows=8, cols=2), loss=loss, seed=seed
+        )
+        transfer.run(packets_for(entries))
+        delivered = transfer.master_unique_entries
+        assert set(master_distinct(delivered)) == set(entries)
+
+    @_SETTINGS
+    @given(
+        entries=st.lists(st.integers(1, 10_000), min_size=1, max_size=80),
+        loss=st.floats(0.0, 0.4),
+        seed=st.integers(0, 1000),
+    )
+    def test_topn_correct_under_any_loss(self, entries, loss, seed):
+        n = 10
+        transfer = ReliableTransfer(
+            TopNDeterministicPruner(n=n, thresholds=3), loss=loss, seed=seed
+        )
+        transfer.run(packets_for(entries))
+        delivered = [float(e) for e in transfer.master_unique_entries]
+        assert sorted(master_topn(delivered, n)) == sorted(
+            master_topn([float(e) for e in entries], n)
+        )

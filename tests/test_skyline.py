@@ -1,0 +1,234 @@
+"""Tests for SKYLINE pruning (repro.core.skyline)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.base import Guarantee, PruneDecision
+from repro.core.skyline import (
+    AphScore,
+    SkylinePruner,
+    dominates,
+    master_skyline,
+    score_product,
+    score_sum,
+    weakly_dominates,
+)
+from repro.errors import ConfigurationError, UnsupportedOperationError
+from repro.workloads.synthetic import correlated_points, uniform_points
+
+
+def _run_with_drain(pruner, points):
+    """Stream points; return what the master receives (carried + drained)."""
+    received = []
+    for point in points:
+        if pruner.process(point) is PruneDecision.FORWARD:
+            received.append(pruner.last_carried)
+    received.extend(pruner.drain())
+    return received
+
+
+class TestDomination:
+    def test_dominates_strict(self):
+        assert dominates((5, 5), (3, 3))
+        assert dominates((5, 3), (3, 3))
+        assert not dominates((3, 3), (3, 3))  # equal: not strict
+
+    def test_weakly_dominates(self):
+        assert weakly_dominates((3, 3), (3, 3))
+        assert weakly_dominates((5, 3), (3, 3))
+        assert not weakly_dominates((5, 2), (3, 3))
+
+
+class TestScores:
+    def test_sum(self):
+        assert score_sum((2, 3)) == 5.0
+
+    def test_product_shifted(self):
+        assert score_product((0, 0)) == 1.0
+        assert score_product((1, 2)) == 6.0
+
+    def test_scores_monotone_under_domination(self):
+        # h monotone: y dominates x => h(y) >= h(x), for every score.
+        pairs = [((10, 20), (5, 20)), ((7, 7), (7, 6)), ((100, 1), (99, 0))]
+        aph = AphScore()
+        for better, worse in pairs:
+            assert score_sum(better) >= score_sum(worse)
+            assert score_product(better) >= score_product(worse)
+            assert aph(better) >= aph(worse)
+
+    def test_aph_tracks_product_ordering(self):
+        # APH approximates log of the product; ordering should agree with
+        # the true product on well-separated pairs.
+        aph = AphScore(beta=1 << 10)
+        a, b = (100, 200), (30, 40)
+        assert (aph(a) > aph(b)) == (score_product(a) > score_product(b))
+
+    def test_aph_rejects_negative_coordinates(self):
+        with pytest.raises(UnsupportedOperationError):
+            AphScore()((-1, 5))
+
+
+class TestSkylinePruner:
+    def test_paper_ratings_example(self, ratings_table):
+        # SKYLINE OF taste, texture over Table 1b -> Cheetos, Jello, Burger.
+        points = [
+            (7.0, 5.0),   # Pizza
+            (8.0, 6.0),   # Cheetos
+            (9.0, 4.0),   # Jello
+            (5.0, 7.0),   # Burger
+            (3.0, 3.0),   # Fries
+        ]
+        pruner = SkylinePruner(dims=2, points=4, score="sum")
+        received = _run_with_drain(pruner, points)
+        assert set(master_skyline(received)) == {
+            (8.0, 6.0),
+            (9.0, 4.0),
+            (5.0, 7.0),
+        }
+
+    @pytest.mark.parametrize("score", ["sum", "product", "aph", "baseline"])
+    def test_contract_on_uniform_points(self, score):
+        points = uniform_points(2000, dims=2, seed=3)
+        pruner = SkylinePruner(dims=2, points=8, score=score)
+        received = _run_with_drain(pruner, points)
+        assert set(master_skyline(received)) == set(master_skyline(points))
+
+    @pytest.mark.parametrize("score", ["sum", "aph"])
+    def test_contract_on_anticorrelated_points(self, score):
+        # Anti-correlated data has large skylines - the stress case.
+        points = correlated_points(1500, dims=2, seed=5)
+        pruner = SkylinePruner(dims=2, points=6, score=score)
+        received = _run_with_drain(pruner, points)
+        assert set(master_skyline(received)) == set(master_skyline(points))
+
+    def test_contract_three_dimensions(self):
+        points = uniform_points(1000, dims=3, seed=7)
+        pruner = SkylinePruner(dims=3, points=5, score="sum")
+        received = _run_with_drain(pruner, points)
+        assert set(master_skyline(received)) == set(master_skyline(points))
+
+    def test_dominated_point_pruned(self):
+        pruner = SkylinePruner(dims=2, points=2, score="sum")
+        pruner.process((10.0, 10.0))
+        assert pruner.process((5.0, 5.0)) is PruneDecision.PRUNE
+
+    def test_duplicate_point_pruned(self):
+        pruner = SkylinePruner(dims=2, points=2, score="sum")
+        pruner.process((10.0, 10.0))
+        assert pruner.process((10.0, 10.0)) is PruneDecision.PRUNE
+
+    def test_stored_points_have_highest_scores(self):
+        pruner = SkylinePruner(dims=2, points=2, score="sum")
+        for point in [(1.0, 1.0), (10.0, 10.0), (5.0, 5.0), (20.0, 1.0)]:
+            pruner.process(point)
+        scores = pruner.stored_scores()
+        assert sorted(scores, reverse=True) == scores
+        assert 20.0 in scores and 21.0 in scores  # sums 20+1 and 10+10
+
+    def test_pruning_rate_improves_with_more_points(self):
+        points = uniform_points(3000, dims=2, seed=9)
+        small = SkylinePruner(dims=2, points=2, score="sum")
+        large = SkylinePruner(dims=2, points=16, score="sum")
+        for p in points:
+            small.process(p)
+            large.process(p)
+        assert large.stats.pruning_rate >= small.stats.pruning_rate
+
+    def test_aph_prunes_at_least_as_well_as_baseline(self):
+        points = uniform_points(3000, dims=2, seed=11)
+        aph = SkylinePruner(dims=2, points=6, score="aph")
+        baseline = SkylinePruner(dims=2, points=6, score="baseline")
+        for p in points:
+            aph.process(p)
+            baseline.process(p)
+        assert aph.stats.pruning_rate >= baseline.stats.pruning_rate
+
+    def test_baseline_never_replaces(self):
+        pruner = SkylinePruner(dims=2, points=1, score="baseline")
+        pruner.process((1.0, 1.0))
+        pruner.process((100.0, 100.0))
+        assert pruner.stored_scores() == [2.0]  # first point pinned
+
+    def test_wrong_dimensionality_raises(self):
+        pruner = SkylinePruner(dims=2, points=2)
+        with pytest.raises(ConfigurationError):
+            pruner.process((1.0, 2.0, 3.0))
+
+    def test_drain_returns_stored_points(self):
+        pruner = SkylinePruner(dims=2, points=3, score="sum")
+        pruner.process((1.0, 2.0))
+        assert (1.0, 2.0) in pruner.drain()
+
+    def test_reset(self):
+        pruner = SkylinePruner(dims=2, points=2)
+        pruner.process((1.0, 1.0))
+        pruner.reset()
+        assert pruner.drain() == []
+        assert pruner.stats.processed == 0
+
+    def test_guarantee(self):
+        assert SkylinePruner().guarantee is Guarantee.DETERMINISTIC
+
+    def test_footprint_scores(self):
+        sum_fp = SkylinePruner(dims=2, points=10, score="sum").footprint()
+        aph_fp = SkylinePruner(dims=2, points=10, score="aph").footprint()
+        assert aph_fp.tcam_entries > sum_fp.tcam_entries
+        assert aph_fp.sram_bits > sum_fp.sram_bits
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            SkylinePruner(dims=0)
+        with pytest.raises(ConfigurationError):
+            SkylinePruner(points=0)
+        with pytest.raises(ConfigurationError):
+            SkylinePruner(score="cosine")
+
+
+class TestMasterSkyline:
+    def test_exact_skyline(self):
+        points = [(1, 5), (5, 1), (3, 3), (2, 2), (5, 1)]
+        assert set(master_skyline(points)) == {(1, 5), (5, 1), (3, 3)}
+
+    def test_single_point(self):
+        assert master_skyline([(1, 1)]) == [(1, 1)]
+
+    def test_empty(self):
+        assert master_skyline([]) == []
+
+    def test_duplicates_deduped(self):
+        assert master_skyline([(2, 2), (2, 2)]) == [(2, 2)]
+
+
+class TestMasterSkylineSfsEquivalence:
+    """The sort-filter implementation must equal brute force exactly."""
+
+    @staticmethod
+    def _brute_force(points):
+        unique = list(dict.fromkeys(tuple(p) for p in points))
+        return {
+            c
+            for c in unique
+            if not any(o != c and weakly_dominates(o, c) for o in unique)
+        }
+
+    def test_equivalence_on_random_sets(self):
+        import random
+
+        rng = random.Random(31)
+        for trial in range(50):
+            dims = rng.choice([2, 3])
+            points = [
+                tuple(float(rng.randrange(20)) for _ in range(dims))
+                for _ in range(rng.randrange(1, 120))
+            ]
+            assert set(master_skyline(points)) == self._brute_force(points), points
+
+    def test_equivalence_with_heavy_ties(self):
+        points = [(1.0, 2.0), (2.0, 1.0), (1.0, 2.0), (2.0, 1.0), (1.5, 1.5)]
+        assert set(master_skyline(points)) == self._brute_force(points)
+
+    def test_all_on_a_diagonal(self):
+        # Equal sums, mutually incomparable: everything is skyline.
+        points = [(float(i), float(10 - i)) for i in range(11)]
+        assert set(master_skyline(points)) == set(points)

@@ -1,0 +1,106 @@
+"""Tests for the dataplane operation set (repro.switch.primitives)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import UnsupportedOperationError
+from repro.switch.primitives import AluOp, alu, is_power_of_two, msb_index
+
+_MASK64 = (1 << 64) - 1
+
+
+class TestAluArithmetic:
+    def test_add(self):
+        assert alu(AluOp.ADD, 3, 4) == 7
+
+    def test_add_wraps_64_bits(self):
+        assert alu(AluOp.ADD, _MASK64, 1) == 0
+
+    def test_sub(self):
+        assert alu(AluOp.SUB, 10, 4) == 6
+
+    def test_sub_wraps(self):
+        assert alu(AluOp.SUB, 0, 1) == _MASK64
+
+    def test_min_max(self):
+        assert alu(AluOp.MIN, 3, 9) == 3
+        assert alu(AluOp.MAX, 3, 9) == 9
+
+
+class TestAluComparisons:
+    @pytest.mark.parametrize(
+        "op,a,b,expected",
+        [
+            (AluOp.EQ, 5, 5, 1),
+            (AluOp.EQ, 5, 6, 0),
+            (AluOp.NEQ, 5, 6, 1),
+            (AluOp.GT, 6, 5, 1),
+            (AluOp.GT, 5, 5, 0),
+            (AluOp.GE, 5, 5, 1),
+            (AluOp.LT, 4, 5, 1),
+            (AluOp.LE, 5, 5, 1),
+        ],
+    )
+    def test_comparison(self, op, a, b, expected):
+        assert alu(op, a, b) == expected
+
+
+class TestAluBitOps:
+    def test_and_or_xor(self):
+        assert alu(AluOp.AND, 0b1100, 0b1010) == 0b1000
+        assert alu(AluOp.OR, 0b1100, 0b1010) == 0b1110
+        assert alu(AluOp.XOR, 0b1100, 0b1010) == 0b0110
+
+    def test_shifts(self):
+        assert alu(AluOp.SHL, 1, 4) == 16
+        assert alu(AluOp.SHR, 16, 4) == 1
+
+    def test_shift_amount_masked(self):
+        # Hardware shifts mask the amount to 6 bits.
+        assert alu(AluOp.SHL, 1, 64) == 1
+
+    def test_hash_is_deterministic(self):
+        assert alu(AluOp.HASH, 123, 7) == alu(AluOp.HASH, 123, 7)
+
+
+class TestFunctionConstraints:
+    """§2.2: multiplication, division, log, strings are not expressible."""
+
+    @pytest.mark.parametrize("op", ["mul", "div", "mod", "log", "exp", "sqrt", "strcmp", "like"])
+    def test_forbidden_ops_raise(self, op):
+        with pytest.raises(UnsupportedOperationError):
+            alu(op, 4, 2)
+
+    def test_unknown_op_raises(self):
+        with pytest.raises(UnsupportedOperationError):
+            alu("frobnicate", 1, 2)
+
+    def test_string_names_accepted_for_legal_ops(self):
+        assert alu("add", 2, 2) == 4
+        assert alu("gt", 3, 1) == 1
+
+
+class TestMsbIndex:
+    @pytest.mark.parametrize(
+        "value,expected", [(1, 0), (2, 1), (3, 1), (255, 7), (256, 8), (1 << 63, 63)]
+    )
+    def test_msb(self, value, expected):
+        assert msb_index(value) == expected
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(UnsupportedOperationError):
+            msb_index(0)
+        with pytest.raises(UnsupportedOperationError):
+            msb_index(-4)
+
+
+class TestPowerOfTwo:
+    def test_powers(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(1024)
+
+    def test_non_powers(self):
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(3)
+        assert not is_power_of_two(-2)

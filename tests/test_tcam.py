@@ -1,0 +1,110 @@
+"""Tests for TCAM tables and the APH log machinery (repro.switch.tcam)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError, UnsupportedOperationError
+from repro.switch.tcam import (
+    LogApproxTable,
+    TcamTable,
+    build_msb_table,
+    msb_rule_count,
+)
+
+
+class TestTcamTable:
+    def test_exact_rule_matches(self):
+        table = TcamTable(width_bits=8)
+        table.add(value=0b1010, mask=0xFF, action=1)
+        assert table.lookup(0b1010) == 1
+        assert table.lookup(0b1011) is None
+
+    def test_wildcard_bits(self):
+        table = TcamTable(width_bits=8)
+        table.add(value=0b1000, mask=0b1000, action=5)  # match any with bit 3
+        assert table.lookup(0b1001) == 5
+        assert table.lookup(0b0001) is None
+
+    def test_priority_order(self):
+        table = TcamTable(width_bits=8)
+        table.add(value=0, mask=0, action=1, priority=0)  # match-all fallback
+        table.add(value=0b1, mask=0b1, action=2, priority=10)
+        assert table.lookup(0b1) == 2
+        assert table.lookup(0b0) == 1
+
+    def test_len(self):
+        table = TcamTable()
+        table.add(0, 0, 0)
+        assert len(table) == 1
+
+    def test_invalid_width(self):
+        with pytest.raises(ConfigurationError):
+            TcamTable(width_bits=0)
+
+
+class TestMsbTable:
+    def test_matches_bit_length(self):
+        table = build_msb_table(64)
+        for value in (1, 2, 3, 7, 8, 1023, 1024, (1 << 40) + 5, 1 << 63):
+            assert table.lookup(value) == value.bit_length() - 1
+
+    def test_rule_count(self):
+        assert len(build_msb_table(32)) == 32
+        assert msb_rule_count(64) == 64
+
+    def test_zero_has_no_match(self):
+        assert build_msb_table(16).lookup(0) is None
+
+
+class TestLogApproxTable:
+    def test_small_values_near_exact(self):
+        table = LogApproxTable(beta=256)
+        for a in (1, 2, 3, 100, 65535):
+            expected = 256 * math.log2(a)
+            assert abs(table.lookup(a) - expected) <= 0.5 if a > 1 else True
+
+    def test_lookup_bounds(self):
+        table = LogApproxTable()
+        with pytest.raises(UnsupportedOperationError):
+            table.lookup(0)
+        with pytest.raises(UnsupportedOperationError):
+            table.lookup(1 << 16)
+
+    def test_approx_log_small_equals_lookup(self):
+        table = LogApproxTable(beta=256)
+        assert table.approx_log(1000) == table.lookup(1000)
+
+    def test_approx_log_wide_values(self):
+        table = LogApproxTable(beta=256)
+        for value in (1 << 16, (1 << 20) + 12345, (1 << 40) + 999, (1 << 63) + 1):
+            approx = table.approx_log(value) / 256
+            exact = math.log2(value)
+            assert abs(approx - exact) <= exact * table.max_relative_error() + 0.01
+
+    def test_approx_log_monotone(self):
+        table = LogApproxTable(beta=256)
+        values = [1, 5, 100, 70_000, 1 << 20, 1 << 33, 1 << 50]
+        logs = [table.approx_log(v) for v in values]
+        assert logs == sorted(logs)
+
+    def test_nonpositive_raises(self):
+        table = LogApproxTable()
+        with pytest.raises(UnsupportedOperationError):
+            table.approx_log(0)
+
+    def test_resource_accounting(self):
+        table = LogApproxTable()
+        assert table.sram_bits() == (1 << 16) * 32
+        assert table.tcam_entries() == 64
+
+    def test_beta_scales_precision(self):
+        coarse = LogApproxTable(beta=4)
+        fine = LogApproxTable(beta=1 << 12)
+        assert fine.max_relative_error() < coarse.max_relative_error()
+
+    def test_invalid_beta(self):
+        with pytest.raises(ConfigurationError):
+            LogApproxTable(beta=0)

@@ -4,33 +4,57 @@ One pytest-benchmark per operator at its Table 2 default configuration,
 processing a fixed synthetic stream.  The register-level DISTINCT runs
 too, to quantify the fidelity tax of the pipeline simulator relative to
 the algorithmic model.
+
+``test_batch_vs_scalar_report`` additionally races every batch-capable
+pruner's ``process_batch`` path against its scalar ``process`` loop on
+the same stream, asserts the decisions are identical, and writes the
+entries/sec comparison to ``benchmarks/results/throughput_batch.txt``.
+The stream length is ``CHEETAH_BENCH_N`` (default 1,000,000) so CI can
+run the same test as a quick smoke on a small stream.
 """
 
 from __future__ import annotations
 
+import os
 import random
+import time
 
+import numpy as np
 import pytest
 
+from repro.core.base import PruneDecision
 from repro.core.distinct import DistinctPruner
+from repro.core.filtering import FilterPruner
 from repro.core.groupby import GroupByPruner
 from repro.core.having import HavingPruner
 from repro.core.join import JoinPruner
 from repro.core.skyline import SkylinePruner
 from repro.core.topn import TopNDeterministicPruner, TopNRandomizedPruner
+from repro.engine.expressions import col
 from repro.switch.pipeline import Pipeline
 from repro.switch.programs import PipelineDistinct
 from repro.switch.resources import ResourceModel
 from repro.workloads.synthetic import (
     keyed_values,
+    overlapping_key_sets,
     random_order_stream,
+    revenue_stream,
     uniform_points,
+    zipf_keys,
 )
+
+from _harness import emit, table
 
 STREAM = random_order_stream(5000, 400, seed=1)
 KEYED = keyed_values(5000, 200, seed=2)
 POINTS = uniform_points(5000, dims=2, seed=3)
 VALUES = [random.Random(4).uniform(0, 1e6) for _ in range(5000)]
+
+# Scalar-vs-batch comparison knobs.  CHEETAH_BENCH_N is the stream
+# length (CI sets a small value for the smoke run); CHEETAH_BENCH_BATCH
+# is the process_batch chunk size.
+BATCH_N = int(os.environ.get("CHEETAH_BENCH_N", "1000000"))
+BATCH_SIZE = int(os.environ.get("CHEETAH_BENCH_BATCH", "65536"))
 
 
 def test_throughput_distinct(benchmark):
@@ -90,3 +114,188 @@ def test_throughput_join_probe(benchmark):
             pruner.process(("L", key))
 
     benchmark(run)
+
+
+# ---------------------------------------------------------------------------
+# Scalar vs batch dataplane comparison
+# ---------------------------------------------------------------------------
+
+
+def _chunks(array, size=None):
+    """Split an array (or aligned pair of arrays) into batch-size chunks."""
+    size = size or BATCH_SIZE
+    length = len(array[0]) if isinstance(array, tuple) else len(array)
+    if isinstance(array, tuple):
+        return [
+            tuple(part[i : i + size] for part in array)
+            for i in range(0, length, size)
+        ]
+    return [array[i : i + size] for i in range(0, length, size)]
+
+
+def _scalar_decisions(pruner, entries):
+    """Run the scalar process() loop; return the FORWARD mask."""
+    return np.fromiter(
+        (pruner.process(entry) is PruneDecision.FORWARD for entry in entries),
+        dtype=bool,
+        count=len(entries),
+    )
+
+
+def _batch_decisions(pruner, batches):
+    """Run process_batch over pre-chunked batches; concatenate the masks."""
+    return np.concatenate([pruner.process_batch(batch) for batch in batches])
+
+
+def _batch_specs():
+    """One (name, count, scalar_run, batch_run) spec per batch-capable pruner.
+
+    The run callables construct a fresh pruner (so scalar and batch start
+    from identical state) and return the per-entry FORWARD mask; input
+    representations are materialized here, outside the timed region.
+    """
+    n = BATCH_N
+    keys = np.asarray(random_order_stream(n, max(1, n // 10), seed=11), dtype=np.int64)
+    values = np.asarray(revenue_stream(n, seed=12), dtype=np.float64)
+    group_keys = np.asarray(zipf_keys(n, max(1, n // 100), seed=13), dtype=np.int64)
+
+    price = values
+    qty = np.asarray(random_order_stream(n, 50, seed=14), dtype=np.int64)
+    filter_formula = ((col("price") > 120.0) & (col("qty") <= 24)).to_formula(
+        ["price", "qty"]
+    )
+    filter_rows = list(zip(price.tolist(), qty.tolist()))
+
+    left, right = overlapping_key_sets(n, max(1, n // 4), overlap=0.5, seed=15)
+    left = np.asarray(left, dtype=np.int64)
+
+    def make_join():
+        pruner = JoinPruner("L", "R", memory_bits=4 * 1024 * 1024 * 8)
+        pruner.build(left, right)
+        return pruner
+
+    keyed_rows = list(zip(group_keys.tolist(), values.tolist()))
+    keyed_cols = (group_keys, values)
+
+    sky_n = min(n, 250_000)
+    sky_points = np.asarray(uniform_points(sky_n, dims=4, seed=16), dtype=np.float64)
+    sky_rows = [tuple(row) for row in sky_points.tolist()]
+
+    values_list = values.tolist()
+    keys_list = keys.tolist()
+
+    return [
+        (
+            "filter",
+            n,
+            lambda: _scalar_decisions(FilterPruner(filter_formula), filter_rows),
+            lambda: _batch_decisions(
+                FilterPruner(filter_formula), _chunks((price, qty))
+            ),
+        ),
+        (
+            "distinct",
+            n,
+            lambda: _scalar_decisions(DistinctPruner(rows=4096, cols=2), keys_list),
+            lambda: _batch_decisions(DistinctPruner(rows=4096, cols=2), _chunks(keys)),
+        ),
+        (
+            "topn-det",
+            n,
+            lambda: _scalar_decisions(
+                TopNDeterministicPruner(n=1000, thresholds=4), values_list
+            ),
+            lambda: _batch_decisions(
+                TopNDeterministicPruner(n=1000, thresholds=4), _chunks(values)
+            ),
+        ),
+        (
+            "topn-rand",
+            n,
+            lambda: _scalar_decisions(
+                TopNRandomizedPruner(n=1000, rows=2400, delta=1e-4, seed=1),
+                values_list,
+            ),
+            lambda: _batch_decisions(
+                TopNRandomizedPruner(n=1000, rows=2400, delta=1e-4, seed=1),
+                _chunks(values),
+            ),
+        ),
+        (
+            "groupby",
+            n,
+            lambda: _scalar_decisions(GroupByPruner(rows=4096, cols=8), keyed_rows),
+            lambda: _batch_decisions(GroupByPruner(rows=4096, cols=8), _chunks(keyed_cols)),
+        ),
+        (
+            "having-sum",
+            n,
+            lambda: _scalar_decisions(
+                HavingPruner(threshold=500.0, width=1024, depth=3), keyed_rows
+            ),
+            lambda: _batch_decisions(
+                HavingPruner(threshold=500.0, width=1024, depth=3), _chunks(keyed_cols)
+            ),
+        ),
+        (
+            "join-probe",
+            n,
+            lambda: _scalar_decisions(
+                make_join(), [("L", key) for key in left.tolist()]
+            ),
+            lambda: _batch_decisions(
+                make_join(), [("L", chunk) for chunk in _chunks(left)]
+            ),
+        ),
+        (
+            "skyline",
+            sky_n,
+            lambda: _scalar_decisions(
+                SkylinePruner(dims=4, points=10, score="sum"), sky_rows
+            ),
+            lambda: _batch_decisions(
+                SkylinePruner(dims=4, points=10, score="sum"), _chunks(sky_points)
+            ),
+        ),
+    ]
+
+
+def test_batch_vs_scalar_report():
+    """Race process_batch against the scalar loop; emit the comparison table.
+
+    Decisions must be bit-identical — the batch dataplane is an exact
+    reimplementation, not an approximation — so this doubles as an
+    end-to-end equivalence check at benchmark scale.
+    """
+    rows = []
+    for name, count, scalar_run, batch_run in _batch_specs():
+        start = time.perf_counter()
+        scalar_mask = scalar_run()
+        scalar_s = time.perf_counter() - start
+        start = time.perf_counter()
+        batch_mask = batch_run()
+        batch_s = time.perf_counter() - start
+        assert np.array_equal(scalar_mask, batch_mask), (
+            f"{name}: batch decisions diverge from scalar"
+        )
+        rows.append(
+            [
+                name,
+                f"{count:,}",
+                f"{count / scalar_s:,.0f}",
+                f"{count / batch_s:,.0f}",
+                f"{scalar_s / batch_s:.1f}x",
+            ]
+        )
+    emit(
+        "throughput_batch",
+        [
+            f"Scalar vs batch pruner throughput "
+            f"(stream={BATCH_N:,}, batch_size={BATCH_SIZE:,})",
+            "",
+        ]
+        + table(
+            ["pruner", "entries", "scalar entries/s", "batch entries/s", "speedup"],
+            rows,
+        ),
+    )

@@ -23,11 +23,61 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Generic, Iterable, Iterator, List, Tuple, TypeVar
+from typing import Generic, Iterable, Iterator, List, Optional, Sequence, Tuple, TypeVar
+
+import numpy as np
 
 from ..switch.resources import ResourceFootprint, ResourceModel, TOFINO
 
 Entry = TypeVar("Entry")
+
+
+def batch_length(entries) -> int:
+    """Number of logical entries in a batch, for any accepted batch form.
+
+    Batches are either a plain sequence of scalar entries, or a *columnar*
+    form — a tuple/list of equal-length numpy arrays (one per field) — in
+    which case the batch length is the length of the columns, not the
+    number of columns.  A 2-D array counts its rows.
+    """
+    if isinstance(entries, np.ndarray):
+        return entries.shape[0]
+    if (
+        isinstance(entries, (tuple, list))
+        and len(entries) > 0
+        and isinstance(entries[0], np.ndarray)
+        and all(isinstance(column, np.ndarray) for column in entries)
+    ):
+        return len(entries[0])
+    return len(entries)
+
+
+def as_keyed_batch(entries) -> Tuple[Sequence, np.ndarray, int]:
+    """Normalize a keyed batch to ``(keys, values, count)``.
+
+    Keyed pruners (GROUP BY, HAVING) accept either a sequence of
+    ``(key, value)`` pairs or the columnar form — a ``(keys, values)``
+    pair of equal-length arrays.
+    """
+    if (
+        isinstance(entries, (tuple, list))
+        and len(entries) == 2
+        and isinstance(entries[0], np.ndarray)
+        and isinstance(entries[1], np.ndarray)
+    ):
+        return entries[0], entries[1], len(entries[0])
+    count = len(entries)
+    keys = [entry[0] for entry in entries]
+    values = np.asarray([entry[1] for entry in entries], dtype=np.float64)
+    return keys, values, count
+
+
+def iter_batches(entries: Sequence, batch_size: int) -> Iterator[Sequence]:
+    """Slice a scalar-entry sequence into consecutive chunks."""
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    for start in range(0, len(entries), batch_size):
+        yield entries[start : start + batch_size]
 
 
 class PruneDecision(Enum):
@@ -69,6 +119,11 @@ class PruneStats:
         if decision is PruneDecision.PRUNE:
             self.pruned += 1
 
+    def record_batch(self, processed: int, pruned: int) -> None:
+        """Account a whole batch of decisions at once."""
+        self.processed += processed
+        self.pruned += pruned
+
 
 class Pruner(ABC, Generic[Entry]):
     """Base class for all switch pruning algorithms."""
@@ -95,29 +150,73 @@ class Pruner(ABC, Generic[Entry]):
         """Raise ``ResourceError`` when this pruner does not fit ``model``."""
         self.footprint().check_fits(model)
 
+    # -- batch dataplane -----------------------------------------------------
+
+    def process_batch(self, entries) -> np.ndarray:
+        """Decide a whole batch; ``result[i]`` is True when entry ``i`` is
+        FORWARDed.
+
+        The default implementation is a correct-by-construction scalar
+        loop over a sequence of entries (state transitions and stats are
+        byte-identical to calling :meth:`process` in a loop).  Subclasses
+        with vectorizable semantics override it with numpy kernels and may
+        additionally accept a columnar batch form — see each pruner's
+        docstring.
+        """
+        return np.fromiter(
+            (self.process(entry) is PruneDecision.FORWARD for entry in entries),
+            dtype=bool,
+            count=len(entries),
+        )
+
     # -- convenience driving -----------------------------------------------
 
-    def prune_stream(self, entries: Iterable[Entry]) -> Iterator[Entry]:
-        """Yield the forwarded (surviving) entries of a stream."""
-        for entry in entries:
-            if self.process(entry) is PruneDecision.FORWARD:
-                yield entry
+    def prune_stream(
+        self, entries: Iterable[Entry], batch_size: Optional[int] = None
+    ) -> Iterator[Entry]:
+        """Yield the forwarded (surviving) entries of a stream.
 
-    def survivors(self, entries: Iterable[Entry]) -> List[Entry]:
+        With ``batch_size`` set, the stream is materialized and driven
+        through :meth:`process_batch` in chunks; decisions are identical
+        to the scalar path.
+        """
+        if batch_size is None:
+            for entry in entries:
+                if self.process(entry) is PruneDecision.FORWARD:
+                    yield entry
+            return
+        if not isinstance(entries, (list, tuple, np.ndarray)):
+            entries = list(entries)
+        for chunk in iter_batches(entries, batch_size):
+            forward = self.process_batch(chunk)
+            for index in np.flatnonzero(forward):
+                yield chunk[index]
+
+    def survivors(
+        self, entries: Iterable[Entry], batch_size: Optional[int] = None
+    ) -> List[Entry]:
         """Materialized :meth:`prune_stream`."""
-        return list(self.prune_stream(entries))
+        return list(self.prune_stream(entries, batch_size=batch_size))
 
     def split_stream(
-        self, entries: Iterable[Entry]
+        self, entries: Iterable[Entry], batch_size: Optional[int] = None
     ) -> Tuple[List[Entry], List[Entry]]:
         """Partition a stream into (forwarded, pruned) lists."""
         forwarded: List[Entry] = []
         pruned: List[Entry] = []
-        for entry in entries:
-            if self.process(entry) is PruneDecision.FORWARD:
-                forwarded.append(entry)
-            else:
-                pruned.append(entry)
+        if batch_size is None:
+            for entry in entries:
+                if self.process(entry) is PruneDecision.FORWARD:
+                    forwarded.append(entry)
+                else:
+                    pruned.append(entry)
+            return forwarded, pruned
+        if not isinstance(entries, (list, tuple, np.ndarray)):
+            entries = list(entries)
+        for chunk in iter_batches(entries, batch_size):
+            forward = self.process_batch(chunk)
+            for index, keep in enumerate(forward):
+                (forwarded if keep else pruned).append(chunk[index])
         return forwarded, pruned
 
 
@@ -133,6 +232,12 @@ class PassthroughPruner(Pruner[Entry]):
         decision = PruneDecision.FORWARD
         self.stats.record(decision)
         return decision
+
+    def process_batch(self, entries) -> np.ndarray:
+        """Forward everything; only the stats counters move."""
+        count = batch_length(entries)
+        self.stats.record_batch(count, 0)
+        return np.ones(count, dtype=bool)
 
     def footprint(self) -> ResourceFootprint:
         return ResourceFootprint(label="PASSTHROUGH")

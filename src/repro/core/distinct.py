@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+import numpy as np
+
 from ..errors import ConfigurationError
 from ..sketches.cachematrix import CacheMatrix
 from ..sketches.fingerprint import FingerprintScheme, scheme_for
@@ -75,6 +77,17 @@ class DistinctPruner(Pruner[Hashable]):
         decision = PruneDecision.PRUNE if hit else PruneDecision.FORWARD
         self.stats.record(decision)
         return decision
+
+    def process_batch(self, entries) -> np.ndarray:
+        """Batch DISTINCT: vectorized row hashing, per-row sequential replay.
+
+        Accepts any value sequence or 1-D array; decisions and cache state
+        equal the scalar loop (the matrix driver replays each row group in
+        stream order).
+        """
+        hits = self._matrix.lookup_insert_batch(entries)
+        self.stats.record_batch(len(hits), int(hits.sum()))
+        return ~hits
 
     def footprint(self) -> ResourceFootprint:
         return footprint_distinct(
@@ -153,6 +166,21 @@ class FingerprintDistinctPruner(Pruner[Sequence[Hashable]]):
         decision = PruneDecision.PRUNE if hit else PruneDecision.FORWARD
         self.stats.record(decision)
         return decision
+
+    def process_batch(self, entries) -> np.ndarray:
+        """Batch fingerprint DISTINCT: vectorized fingerprints, then the
+        same row-grouped cache replay as the exact pruner.
+
+        ``canonical_int`` folds tuples exactly like :meth:`of_columns`,
+        so multi-column keys fingerprint identically on both paths.
+        """
+        count = len(entries)
+        if count == 0:
+            return np.ones(0, dtype=bool)
+        fps = self.scheme.of_batch(entries)
+        hits = self._matrix.lookup_insert_batch(fps)
+        self.stats.record_batch(count, int(hits.sum()))
+        return ~hits
 
     def footprint(self) -> ResourceFootprint:
         return footprint_distinct(

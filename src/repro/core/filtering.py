@@ -24,7 +24,9 @@ predicates and ships their bits in the packet, so the switch evaluates the
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, FrozenSet, List, Sequence, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..errors import ConfigurationError
 from ..switch.compiler import footprint_filtering
@@ -38,12 +40,15 @@ class Atom:
 
     ``supported=False`` marks predicates the dataplane cannot compute
     (string LIKE, multiplication, ...); the relaxation replaces them with
-    constants according to polarity.
+    constants according to polarity.  ``evaluate_batch``, when provided,
+    maps a tuple of column arrays (same layout as the entry tuples) to a
+    boolean array equal to evaluating each row scalar-wise.
     """
 
     name: str
     evaluate: Callable[[object], bool]
     supported: bool = True
+    evaluate_batch: Optional[Callable[[Tuple], "np.ndarray"]] = None
 
     def __repr__(self) -> str:  # dataclass repr would print the lambda
         flag = "" if self.supported else "~switch"
@@ -266,6 +271,7 @@ class TruthTable:
     def __init__(self, atoms: Sequence[Atom], accepting: FrozenSet[int]) -> None:
         self.atom_order = list(atoms)
         self.accepting = accepting
+        self._accepting_array = np.array(sorted(accepting), dtype=np.int64)
 
     @classmethod
     def from_formula(cls, formula: Formula) -> "TruthTable":
@@ -302,9 +308,60 @@ class TruthTable:
         """Table lookup: forward iff the bit vector is accepting."""
         return self.vector_of(entry) in self.accepting
 
+    def vectors_batch(self, columns: Tuple, count: int) -> np.ndarray:
+        """Vectorized :meth:`vector_of` over a columnar batch.
+
+        Atoms carrying ``evaluate_batch`` run as one array op; the rest
+        (e.g. LIKE bits under worker assist) fall back to a per-row loop
+        over reconstructed entry tuples — identical bits either way.
+        """
+        bits = np.zeros(count, dtype=np.int64)
+        for i, atom in enumerate(self.atom_order):
+            if atom.evaluate_batch is not None:
+                atom_bits = np.asarray(atom.evaluate_batch(columns), dtype=bool)
+            else:
+                atom_bits = np.fromiter(
+                    (
+                        bool(atom.evaluate(tuple(column[j] for column in columns)))
+                        for j in range(count)
+                    ),
+                    dtype=bool,
+                    count=count,
+                )
+            bits |= atom_bits.astype(np.int64) << i
+        return bits
+
+    def accepts_batch(self, columns: Tuple, count: int) -> np.ndarray:
+        """Vectorized :meth:`accepts`: table lookup via sorted-array ``isin``."""
+        if not self.atom_order:
+            return np.full(count, 0 in self.accepting, dtype=bool)
+        return np.isin(self.vectors_batch(columns, count), self._accepting_array)
+
     def rule_count(self) -> int:
         """Number of installed match rules (accepting vectors)."""
         return len(self.accepting)
+
+
+def _as_columns(entries) -> Tuple[Tuple, int]:
+    """Normalize a batch to ``(column_arrays, count)``.
+
+    A tuple/list whose elements are all numpy arrays is already columnar;
+    anything else is treated as a sequence of row tuples and transposed.
+    """
+    if (
+        isinstance(entries, (tuple, list))
+        and len(entries) > 0
+        and all(isinstance(column, np.ndarray) for column in entries)
+    ):
+        return tuple(entries), len(entries[0])
+    count = len(entries)
+    if count == 0:
+        return (), 0
+    width = len(entries[0])
+    columns = tuple(
+        np.asarray([entry[i] for entry in entries]) for i in range(width)
+    )
+    return columns, count
 
 
 def _evaluate_with_env(formula: Formula, env: Dict[str, bool]) -> bool:
@@ -357,6 +414,21 @@ class FilterPruner(Pruner[Entry]):
         )
         self.stats.record(decision)
         return decision
+
+    def process_batch(self, entries) -> np.ndarray:
+        """Vectorized filtering over a batch.
+
+        Accepts either a sequence of entry tuples or the columnar form —
+        a tuple/list of equal-length arrays, one per streamed column in
+        entry-tuple order.  Every switch-supported predicate evaluates as
+        one numpy comparison over its column.
+        """
+        columns, count = _as_columns(entries)
+        if count == 0:
+            return np.zeros(0, dtype=bool)
+        forward = self._truth_table.accepts_batch(columns, count)
+        self.stats.record_batch(count, count - int(forward.sum()))
+        return forward
 
     def residual_check(self, entry: Entry) -> bool:
         """The master-side completion: full formula on a survivor."""

@@ -18,12 +18,14 @@ from __future__ import annotations
 import operator
 from typing import Callable, Dict, Sequence, Tuple
 
+import numpy as np
+
 from ..errors import ConfigurationError
 from ..sketches.cachematrix import KeyedAggregateMatrix
 from ..sketches.hashing import Hashable
 from ..switch.compiler import footprint_groupby
 from ..switch.resources import ResourceFootprint
-from .base import Guarantee, PruneDecision, Pruner
+from .base import Guarantee, PruneDecision, Pruner, as_keyed_batch
 
 _AGGREGATES: Dict[str, Callable[[float, float], bool]] = {
     # better(new, cached) -> does `new` improve the aggregate?
@@ -79,6 +81,21 @@ class GroupByPruner(Pruner[Tuple[Hashable, float]]):
         decision = PruneDecision.PRUNE if prunable else PruneDecision.FORWARD
         self.stats.record(decision)
         return decision
+
+    def process_batch(self, entries) -> np.ndarray:
+        """Batch GROUP BY pruning via the keyed matrix's row-grouped driver.
+
+        Accepts ``(key, value)`` pairs or the columnar ``(keys, values)``
+        array pair; row hashing is vectorized and each row's entries
+        replay sequentially, so decisions and cached aggregates match the
+        scalar loop.
+        """
+        keys, values, count = as_keyed_batch(entries)
+        if count == 0:
+            return np.ones(0, dtype=bool)
+        prunable = self._matrix.observe_batch(keys, values)
+        self.stats.record_batch(count, int(prunable.sum()))
+        return ~prunable
 
     def footprint(self) -> ResourceFootprint:
         return footprint_groupby(cols=self.cols, rows=self.rows)

@@ -23,13 +23,15 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from ..errors import ConfigurationError, UnsupportedOperationError
 from ..sketches.cachematrix import CacheMatrix
 from ..sketches.countmin import CountMinSketch
 from ..sketches.hashing import Hashable
 from ..switch.compiler import footprint_having
 from ..switch.resources import ResourceFootprint
-from .base import Guarantee, PruneDecision, Pruner
+from .base import Guarantee, PruneDecision, Pruner, as_keyed_batch
 
 _SKETCH_AGGREGATES = ("sum", "count")
 _SINGLE_AGGREGATES = ("max", "min")
@@ -114,6 +116,48 @@ class HavingPruner(Pruner[Tuple[Hashable, float]]):
             decision = PruneDecision.FORWARD
         self.stats.record(decision)
         return decision
+
+    def process_batch(self, entries) -> np.ndarray:
+        """Vectorized HAVING over a keyed batch.
+
+        SUM/COUNT run through the Count-Min batch add, whose returned
+        running estimates reproduce the scalar per-entry estimates exactly
+        (duplicate keys inside the batch included); MAX/MIN are one array
+        compare.  The dedupe stage then replays only the passing entries,
+        in stream order, matching the scalar control flow.  Negative SUM
+        values raise up front rather than mid-stream.
+        """
+        keys, values, count = as_keyed_batch(entries)
+        if count == 0:
+            return np.ones(0, dtype=bool)
+        values = np.asarray(values, dtype=np.float64)
+        if self._sketch is not None:
+            if np.any(values < 0):
+                raise UnsupportedOperationError(
+                    "negative SUM contributions break Count-Min one-sidedness"
+                )
+            if self.aggregate == "count":
+                amounts = np.ones(count, dtype=np.int64)
+            else:
+                amounts = np.ceil(values).astype(np.int64)
+            estimates = self._sketch.add_batch(keys, amounts)
+            passes = estimates > self.threshold
+        elif self.aggregate == "max":
+            passes = values > self.threshold
+        else:  # min
+            passes = values < self.threshold
+        forward = passes.copy()
+        if self._dedupe is not None:
+            pass_positions = np.flatnonzero(passes)
+            if len(pass_positions):
+                if isinstance(keys, np.ndarray):
+                    pass_keys = keys[pass_positions]
+                else:
+                    pass_keys = [keys[i] for i in pass_positions]
+                hits = self._dedupe.lookup_insert_batch(pass_keys)
+                forward[pass_positions[hits]] = False
+        self.stats.record_batch(count, count - int(forward.sum()))
+        return forward
 
     def footprint(self) -> ResourceFootprint:
         fp = footprint_having(width=self.width, depth=self.depth)

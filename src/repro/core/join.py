@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Sequence, Tuple, Union
 
+import numpy as np
+
 from ..errors import ConfigurationError
 from ..sketches.bloom import BloomFilter, RegisterBloomFilter
 from ..sketches.hashing import Hashable
@@ -98,11 +100,17 @@ class JoinPruner(Pruner[SideKey]):
         self._filter_of(side).add(key)
 
     def build(self, left_keys: Iterable[Hashable], right_keys: Iterable[Hashable]) -> None:
-        """Run the whole first pass from two key iterables."""
-        for key in left_keys:
-            self.observe_build(self.left, key)
-        for key in right_keys:
-            self.observe_build(self.right, key)
+        """Run the whole first pass from two key iterables.
+
+        Materialized sequences and arrays go through the filters' batch
+        insert (same final filter state; bit OR is order-independent).
+        """
+        for side, keys in ((self.left, left_keys), (self.right, right_keys)):
+            if isinstance(keys, (list, tuple, np.ndarray)):
+                self._filters[side].add_batch(keys)
+            else:
+                for key in keys:
+                    self.observe_build(side, key)
         self.seal()
 
     def seal(self) -> None:
@@ -122,6 +130,53 @@ class JoinPruner(Pruner[SideKey]):
         decision = PruneDecision.FORWARD if match else PruneDecision.PRUNE
         self.stats.record(decision)
         return decision
+
+    def probe_batch(self, side: str, keys: Sequence[Hashable]) -> np.ndarray:
+        """Vectorized pass-2 probe: match flags for ``side`` keys against
+        the *other* side's filter (stats are not touched; used by
+        :meth:`process_batch` and the cluster's batch join stage)."""
+        if not self._built:
+            raise ConfigurationError(
+                "JoinPruner.process called before the build pass; call build()/seal()"
+            )
+        if side not in self._filters:
+            self._filter_of(side)  # raises with a helpful message
+        other = self.right if side == self.left else self.left
+        return self._filters[other].contains_batch(keys)
+
+    def process_batch(self, entries) -> np.ndarray:
+        """Vectorized JOIN probe over a batch.
+
+        Accepts the columnar form ``(side, keys_array)`` for a
+        single-side batch, or any sequence of ``(side, key)`` pairs
+        (grouped by side internally; each side probes as one Bloom batch).
+        """
+        if (
+            isinstance(entries, tuple)
+            and len(entries) == 2
+            and isinstance(entries[0], str)
+        ):
+            side, keys = entries
+            match = self.probe_batch(side, keys)
+        else:
+            count = len(entries)
+            if count == 0:
+                if not self._built:
+                    raise ConfigurationError(
+                        "JoinPruner.process called before the build pass; "
+                        "call build()/seal()"
+                    )
+                return np.ones(0, dtype=bool)
+            sides = [entry[0] for entry in entries]
+            match = np.zeros(count, dtype=bool)
+            for side in dict.fromkeys(sides):
+                positions = [i for i, s in enumerate(sides) if s == side]
+                match[positions] = self.probe_batch(
+                    side, [entries[i][1] for i in positions]
+                )
+        total = len(match)
+        self.stats.record_batch(total, total - int(match.sum()))
+        return match
 
     def footprint(self) -> ResourceFootprint:
         return footprint_join(
@@ -161,10 +216,14 @@ class AsymmetricJoinPruner(Pruner[Hashable]):
 
     def build_from_small_table(self, keys: Iterable[Hashable]) -> int:
         """Stream the small table (unpruned) and index its keys; returns count."""
-        count = 0
-        for key in keys:
-            self._filter.add(key)
-            count += 1
+        if isinstance(keys, (list, tuple, np.ndarray)):
+            count = len(keys)
+            self._filter.add_batch(keys)
+        else:
+            count = 0
+            for key in keys:
+                self._filter.add(key)
+                count += 1
         self._built = True
         return count
 
@@ -178,6 +237,16 @@ class AsymmetricJoinPruner(Pruner[Hashable]):
         )
         self.stats.record(decision)
         return decision
+
+    def process_batch(self, entries) -> np.ndarray:
+        """Vectorized large-table probe: one Bloom batch `contains`."""
+        if not self._built:
+            raise ConfigurationError(
+                "AsymmetricJoinPruner.process before build_from_small_table"
+            )
+        match = self._filter.contains_batch(entries)
+        self.stats.record_batch(len(match), len(match) - int(match.sum()))
+        return match
 
     def footprint(self) -> ResourceFootprint:
         return footprint_join(
@@ -267,6 +336,40 @@ class OuterJoinPruner(Pruner[SideKey]):
         decision = self._inner.process(entry)
         self.stats.record(decision)
         return decision
+
+    def process_batch(self, entries) -> np.ndarray:
+        """Vectorized OUTER probe: preserved-side entries always forward;
+        the rest go through the inner pruner's batch probe.
+
+        Stats mirror the scalar loop: preserved entries count only here,
+        probed entries count in both this pruner and the inner one.
+        """
+        if (
+            isinstance(entries, tuple)
+            and len(entries) == 2
+            and isinstance(entries[0], str)
+        ):
+            side, keys = entries
+            count = len(keys)
+            if side == self.preserved_table:
+                self.stats.record_batch(count, 0)
+                return np.ones(count, dtype=bool)
+            forward = self._inner.process_batch(entries)
+            self.stats.record_batch(count, count - int(forward.sum()))
+            return forward
+        count = len(entries)
+        forward = np.ones(count, dtype=bool)
+        if count == 0:
+            return forward
+        probed = [
+            i for i, entry in enumerate(entries) if entry[0] != self.preserved_table
+        ]
+        if probed:
+            forward[probed] = self._inner.process_batch(
+                [entries[i] for i in probed]
+            )
+        self.stats.record_batch(count, count - int(forward.sum()))
+        return forward
 
     def footprint(self) -> ResourceFootprint:
         return self._inner.footprint()

@@ -29,6 +29,8 @@ from __future__ import annotations
 import math
 from typing import Callable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..errors import ConfigurationError, UnsupportedOperationError
 from ..switch.compiler import footprint_skyline
 from ..switch.resources import ResourceFootprint
@@ -128,6 +130,8 @@ class SkylinePruner(Pruner[Point]):
                 f"score must be one of {sorted(_SCORES) + ['baseline']}, got {score!r}"
             )
         self._slots: List[Optional[Tuple[float, Point]]] = [None] * points
+        #: Per-entry carried points of the last :meth:`process_batch` call.
+        self.last_batch_carried: List[Optional[Point]] = []
 
     def _check_dims(self, point: Point) -> None:
         if len(point) != self.dims:
@@ -135,10 +139,10 @@ class SkylinePruner(Pruner[Point]):
                 f"point has {len(point)} dimensions, pruner configured for {self.dims}"
             )
 
-    def process(self, entry: Point) -> PruneDecision:
-        self._check_dims(entry)
-        carried: Optional[Point] = tuple(entry)
-        carried_score = self._score(carried)
+    def _decide(self, point: Point, score: float) -> PruneDecision:
+        """The slot walk for one point whose score is already computed."""
+        carried: Optional[Point] = point
+        carried_score = score
         marked = False
         for i, slot in enumerate(self._slots):
             if slot is None:
@@ -162,6 +166,64 @@ class SkylinePruner(Pruner[Point]):
         self.stats.record(decision)
         self._last_carried = carried
         return decision
+
+    def process(self, entry: Point) -> PruneDecision:
+        self._check_dims(entry)
+        carried = tuple(entry)
+        return self._decide(carried, self._score(carried))
+
+    def _score_batch(self, points: np.ndarray) -> np.ndarray:
+        """Vectorized score projection over a 2-D point batch.
+
+        SUM and PRODUCT accumulate dimension by dimension (vectorized
+        across rows, sequential across dims) so float rounding matches the
+        scalar loops exactly; APH falls back to per-row table lookups.
+        """
+        count = len(points)
+        if self.score_name in ("sum", "baseline"):
+            acc = np.zeros(count)
+            for j in range(self.dims):
+                acc += points[:, j]
+            return acc
+        if self.score_name == "product":
+            acc = np.ones(count)
+            for j in range(self.dims):
+                acc *= points[:, j] + 1.0
+            return acc
+        return np.fromiter(
+            (self._score(tuple(row)) for row in points),
+            dtype=np.float64,
+            count=count,
+        )
+
+    def process_batch(self, entries) -> np.ndarray:
+        """Batch skyline: vectorized score projection, sequential slot walk.
+
+        The ``w``-slot replacement chain is inherently order-dependent, so
+        only the monotone score ``h(x)`` vectorizes; each entry then
+        replays the slot walk with its precomputed score.  The carried
+        point of every entry lands in :attr:`last_batch_carried` (``None``
+        for absorbed entries) for the cluster's master-side accounting.
+        """
+        count = len(entries)
+        if count == 0:
+            self.last_batch_carried = []
+            return np.ones(0, dtype=bool)
+        points = np.asarray(entries, dtype=np.float64)
+        if points.ndim != 2:
+            raise ConfigurationError(
+                "batch skyline entries must be fixed-dimension points"
+            )
+        self._check_dims(points[0])
+        scores = self._score_batch(points)
+        forward = np.zeros(count, dtype=bool)
+        carried_points: List[Optional[Point]] = []
+        for k in range(count):
+            decision = self._decide(tuple(points[k]), float(scores[k]))
+            forward[k] = decision is PruneDecision.FORWARD
+            carried_points.append(self._last_carried)
+        self.last_batch_carried = carried_points
+        return forward
 
     @property
     def last_carried(self) -> Optional[Point]:
@@ -189,6 +251,7 @@ class SkylinePruner(Pruner[Point]):
         super().reset()
         self._slots = [None] * self.num_points
         self._last_carried = None
+        self.last_batch_carried = []
 
 
 def master_skyline(points: Sequence[Point]) -> List[Point]:
@@ -267,12 +330,34 @@ class DirectionalSkylinePruner(Pruner[Point]):
         self.directions = list(directions)
         self.bounds = list(bounds)
         self._inner = SkylinePruner(dims=len(directions), points=points, score=score)
+        #: Per-entry carried points (original coordinates) of the last batch.
+        self.last_batch_carried: List[Optional[Point]] = []
 
     def process(self, entry: Point) -> PruneDecision:
         reflected = reflect_point(entry, self.directions, self.bounds)
         decision = self._inner.process(reflected)
         self.stats.record(decision)
         return decision
+
+    def process_batch(self, entries) -> np.ndarray:
+        """Batch directional skyline: reflect, then the inner batch walk.
+
+        Reflection is a per-row loop (it validates bounds exactly like the
+        scalar path); carried points come back unreflected in
+        :attr:`last_batch_carried`.
+        """
+        reflected = [
+            reflect_point(tuple(entry), self.directions, self.bounds)
+            for entry in entries
+        ]
+        forward = self._inner.process_batch(reflected)
+        count = len(forward)
+        self.stats.record_batch(count, count - int(forward.sum()))
+        self.last_batch_carried = [
+            None if carried is None else self._unreflect(carried)
+            for carried in self._inner.last_batch_carried
+        ]
+        return forward
 
     @property
     def last_carried(self) -> Optional[Point]:
@@ -298,6 +383,7 @@ class DirectionalSkylinePruner(Pruner[Point]):
     def reset(self) -> None:
         super().reset()
         self._inner.reset()
+        self.last_batch_carried = []
 
 
 def master_directional_skyline(

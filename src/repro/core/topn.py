@@ -20,6 +20,8 @@ import heapq
 import random
 from typing import List, Optional, Sequence
 
+import numpy as np
+
 from ..errors import ConfigurationError
 from ..sketches.cachematrix import RollingMinMatrix
 from ..switch.compiler import footprint_topn_det, footprint_topn_rand
@@ -104,6 +106,40 @@ class TopNDeterministicPruner(Pruner[float]):
         self.stats.record(decision)
         return decision
 
+    def process_batch(self, entries) -> np.ndarray:
+        """Vectorized threshold ladder over a value batch.
+
+        Per-entry counter reads are reconstructed exactly with inclusive
+        cumulative sums: entry ``k``'s counter for threshold ``t_i`` is the
+        carried-in counter plus ``cumsum(values >= t_i)[k]`` — the value a
+        sequential loop would see right after its own update.  Warmup
+        entries (the first ``N`` of the query) replay through the scalar
+        path since they mutate ``t0``.
+        """
+        values = np.asarray(entries, dtype=np.float64)
+        count = len(values)
+        forward = np.ones(count, dtype=bool)
+        if count == 0:
+            return forward
+        start = 0
+        if self._warmup_seen < self.n:
+            start = min(self.n - self._warmup_seen, count)
+            for i in range(start):
+                self.process(float(values[i]))
+        rest = values[start:]
+        if len(rest) == 0:
+            return forward
+        cutoffs = np.full(len(rest), -np.inf)
+        for i, t in enumerate(self._thresholds):
+            counts = self._counters[i] + np.cumsum(rest >= t)
+            cutoffs = np.where(counts >= self.n, t, cutoffs)
+            self._counters[i] = int(counts[-1])
+        forward[start:] = ~(rest < cutoffs)
+        self.stats.record_batch(
+            len(rest), int(np.count_nonzero(~forward[start:]))
+        )
+        return forward
+
     @property
     def current_cutoff(self) -> Optional[float]:
         """The threshold currently used for pruning (None during warmup)."""
@@ -183,6 +219,27 @@ class TopNRandomizedPruner(Pruner[float]):
         decision = PruneDecision.PRUNE if pruned else PruneDecision.FORWARD
         self.stats.record(decision)
         return decision
+
+    def process_batch(self, entries) -> np.ndarray:
+        """Batch drive of the rolling-minimum matrix.
+
+        Row draws come from the same sequential RNG stream as the scalar
+        path (one ``randrange`` per entry, in order), so decisions and
+        matrix state match the scalar loop bit for bit; the matrix's
+        chunked row-grouped driver does the rest.
+        """
+        values = np.asarray(entries, dtype=np.float64)
+        count = len(values)
+        if count == 0:
+            return np.ones(0, dtype=bool)
+        rows = np.fromiter(
+            (self._rng.randrange(self._matrix.rows) for _ in range(count)),
+            dtype=np.int64,
+            count=count,
+        )
+        pruned = self._matrix.offer_batch(values, rows)
+        self.stats.record_batch(count, int(pruned.sum()))
+        return ~pruned
 
     def footprint(self) -> ResourceFootprint:
         return footprint_topn_rand(cols=self.cols, rows=self.rows)

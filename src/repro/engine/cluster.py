@@ -21,6 +21,8 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from ..core.base import PassthroughPruner, PruneDecision, Pruner
 from ..core.distinct import DistinctPruner, FingerprintDistinctPruner
 from ..core.filtering import FilterPruner
@@ -29,7 +31,7 @@ from ..core.having import HavingPruner, master_having
 from ..core.join import JoinPruner
 from ..core.skyline import SkylinePruner, master_skyline
 from ..core.topn import TopNDeterministicPruner, TopNRandomizedPruner, master_topn
-from ..errors import PlanError
+from ..errors import ConfigurationError, PlanError
 from ..switch.resources import ResourceModel, TOFINO
 from .plan import (
     CountOp,
@@ -116,8 +118,15 @@ class PackedRunResult:
 
 @dataclass
 class ClusterConfig:
-    """Per-operator pruner parameters (paper defaults from Table 2 / §8)."""
+    """Per-operator pruner parameters (paper defaults from Table 2 / §8).
 
+    ``batch_size`` switches the streaming loops to the vectorized batch
+    dataplane: workers hand the pruner column slices of up to this many
+    rows instead of one-entry packets.  Decisions, outputs and phase
+    volumes are identical to the scalar path (``None``, the default).
+    """
+
+    batch_size: Optional[int] = None
     distinct_rows: int = 4096
     distinct_cols: int = 2
     distinct_policy: str = "lru"
@@ -139,6 +148,12 @@ class ClusterConfig:
     skyline_score: str = "aph"
     worker_assist_filters: bool = False
     seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.batch_size is not None and self.batch_size <= 0:
+            raise ConfigurationError(
+                f"batch_size must be positive or None, got {self.batch_size}"
+            )
     model: ResourceModel = TOFINO
     validate_resources: bool = True
 
@@ -369,20 +384,28 @@ class Cluster:
         phase = PhaseVolume("stream")
         survivors: List[Tuple[int, Tuple]] = []  # (row_id, payload)
         row_base = 0
+        batch_size = self.config.batch_size
         for part in self._partitions(table):
-            for offset, payload in enumerate(part.iter_rows(columns)):
-                phase.streamed += 1
-                # The packed filter stage (§6) runs first, so WHERE-violating
-                # rows never pollute the stateful operator's caches.
-                if (
-                    where_pruner is not None
-                    and where_pruner.process(payload) is PruneDecision.PRUNE
-                ):
-                    continue
-                entry = self._payload_to_entry(op, columns, payload)
-                if pruner.process(entry) is PruneDecision.FORWARD:
-                    phase.forwarded += 1
-                    survivors.append((row_base + offset, payload))
+            if batch_size is not None:
+                self._stream_partition_batched(
+                    op, part, columns, pruner, where_pruner, phase,
+                    survivors, row_base, batch_size,
+                )
+            else:
+                for offset, payload in enumerate(part.iter_rows(columns)):
+                    phase.streamed += 1
+                    # The packed filter stage (§6) runs first, so
+                    # WHERE-violating rows never pollute the stateful
+                    # operator's caches.
+                    if (
+                        where_pruner is not None
+                        and where_pruner.process(payload) is PruneDecision.PRUNE
+                    ):
+                        continue
+                    entry = self._payload_to_entry(op, columns, payload)
+                    if pruner.process(entry) is PruneDecision.FORWARD:
+                        phase.forwarded += 1
+                        survivors.append((row_base + offset, payload))
             row_base += part.num_rows
         output = self._complete_single_pass(query, columns, survivors, pruner)
         return RunResult(
@@ -393,6 +416,72 @@ class Cluster:
             workers=self.workers,
             op_kind=_op_kind(op),
         )
+
+    def _stream_partition_batched(
+        self,
+        op,
+        part: Table,
+        columns: Sequence[str],
+        pruner: Pruner,
+        where_pruner: Optional[FilterPruner],
+        phase: PhaseVolume,
+        survivors: List[Tuple[int, Tuple]],
+        row_base: int,
+        batch_size: int,
+    ) -> None:
+        """Stream one worker partition as column slices (batch dataplane).
+
+        Mirrors the scalar loop exactly: the packed WHERE stage sees every
+        row, the primary pruner sees only WHERE-passing rows, and
+        survivors carry the same ``(row_id, payload)`` tuples — so phase
+        volumes, pruner stats and the master's input are unchanged.
+        """
+        arrays = [part.column(name) for name in columns]
+        total = part.num_rows
+        for lo in range(0, total, batch_size):
+            hi = min(lo + batch_size, total)
+            slices = tuple(array[lo:hi] for array in arrays)
+            phase.streamed += hi - lo
+            if where_pruner is not None:
+                keep = where_pruner.process_batch(slices)
+                where_idx = np.flatnonzero(keep)
+                if len(where_idx) == 0:
+                    continue
+                subset = tuple(column[where_idx] for column in slices)
+            else:
+                where_idx = None
+                subset = slices
+            entries = self._entries_batch(op, columns, subset)
+            forward = pruner.process_batch(entries)
+            forwarded_positions = np.flatnonzero(forward)
+            phase.forwarded += len(forwarded_positions)
+            for j in forwarded_positions:
+                local = int(where_idx[j]) if where_idx is not None else int(j)
+                survivors.append(
+                    (
+                        row_base + lo + local,
+                        tuple(column[local] for column in slices),
+                    )
+                )
+
+    def _entries_batch(self, op, columns: Sequence[str], slices: Tuple):
+        """Columnar analog of :meth:`_payload_to_entry` for a row batch."""
+        if isinstance(op, (CountOp, FilterOp)):
+            return slices
+        if isinstance(op, DistinctOp):
+            if len(op.columns) == 1:
+                return slices[columns.index(op.columns[0])]
+            parts = [slices[columns.index(c)] for c in op.columns]
+            return list(zip(*parts))
+        if isinstance(op, TopNOp):
+            values = slices[columns.index(op.order_by)].astype(np.float64)
+            return values if op.descending else -values
+        if isinstance(op, GroupByOp):
+            return (
+                slices[columns.index(op.key)],
+                slices[columns.index(op.value)].astype(np.float64),
+            )
+        raise PlanError(f"no entry mapping for {type(op).__name__}")
 
     def _payload_to_entry(self, op, columns: Sequence[str], payload: Tuple):
         """Map the streamed payload to the pruner's entry shape."""
@@ -469,8 +558,11 @@ class Cluster:
             raise PlanError("pre-filtered JOIN is not modeled; filter the table first")
         left = tables[op.table]
         right = tables[op.right_table]
-        left_keys = left.column(op.left_on).tolist()
-        right_keys = right.column(op.right_on).tolist()
+        left_col = left.column(op.left_on)
+        right_col = right.column(op.right_on)
+        left_keys = left_col.tolist()
+        right_keys = right_col.tolist()
+        batch_size = self.config.batch_size
         phases = []
         if use_cheetah:
             pruner = JoinPruner(
@@ -483,21 +575,37 @@ class Cluster:
             )
             self._maybe_validate(pruner)
             build = PhaseVolume("join-build", streamed=len(left_keys) + len(right_keys))
-            pruner.build(left_keys, right_keys)
+            if batch_size is not None:
+                pruner.build(left_col, right_col)
+            else:
+                pruner.build(left_keys, right_keys)
             phases.append(build)
             probe = PhaseVolume("join-probe")
             left_survivors: List = []
             right_survivors: List = []
-            for key in left_keys:
-                probe.streamed += 1
-                if pruner.process((op.table, key)) is PruneDecision.FORWARD:
-                    probe.forwarded += 1
-                    left_survivors.append(key)
-            for key in right_keys:
-                probe.streamed += 1
-                if pruner.process((op.right_table, key)) is PruneDecision.FORWARD:
-                    probe.forwarded += 1
-                    right_survivors.append(key)
+            if batch_size is not None:
+                # Pass 2, batched: each side probes as column chunks.
+                for side, keys_array, side_survivors in (
+                    (op.table, left_col, left_survivors),
+                    (op.right_table, right_col, right_survivors),
+                ):
+                    for lo in range(0, len(keys_array), batch_size):
+                        chunk = keys_array[lo : lo + batch_size]
+                        forward = pruner.process_batch((side, chunk))
+                        probe.streamed += len(chunk)
+                        probe.forwarded += int(forward.sum())
+                        side_survivors.extend(chunk[forward].tolist())
+            else:
+                for key in left_keys:
+                    probe.streamed += 1
+                    if pruner.process((op.table, key)) is PruneDecision.FORWARD:
+                        probe.forwarded += 1
+                        left_survivors.append(key)
+                for key in right_keys:
+                    probe.streamed += 1
+                    if pruner.process((op.right_table, key)) is PruneDecision.FORWARD:
+                        probe.forwarded += 1
+                        right_survivors.append(key)
             phases.append(probe)
         else:
             stream = PhaseVolume(
@@ -535,9 +643,12 @@ class Cluster:
         table = tables[op.table]
         if query.where is not None:
             table = table.mask(query.where.mask(table))
-        keys = table.column(op.key).tolist()
-        values = table.column(op.value).tolist()
+        keys_col = table.column(op.key)
+        values_col = table.column(op.value)
+        keys = keys_col.tolist()
+        values = values_col.tolist()
         data = list(zip(keys, values))
+        batch_size = self.config.batch_size
         phases = []
         if use_cheetah:
             pruner = HavingPruner(
@@ -550,11 +661,20 @@ class Cluster:
             self._maybe_validate(pruner)
             sketch_pass = PhaseVolume("having-sketch")
             candidates: Set = set()
-            for entry in data:
-                sketch_pass.streamed += 1
-                if pruner.process(entry) is PruneDecision.FORWARD:
-                    sketch_pass.forwarded += 1
-                    candidates.add(entry[0])
+            if batch_size is not None:
+                for lo in range(0, len(keys_col), batch_size):
+                    key_chunk = keys_col[lo : lo + batch_size]
+                    value_chunk = values_col[lo : lo + batch_size]
+                    forward = pruner.process_batch((key_chunk, value_chunk))
+                    sketch_pass.streamed += len(key_chunk)
+                    sketch_pass.forwarded += int(forward.sum())
+                    candidates.update(key_chunk[forward].tolist())
+            else:
+                for entry in data:
+                    sketch_pass.streamed += 1
+                    if pruner.process(entry) is PruneDecision.FORWARD:
+                        sketch_pass.forwarded += 1
+                        candidates.add(entry[0])
             phases.append(sketch_pass)
             # Partial second pass: only entries of candidate keys re-stream.
             second = PhaseVolume("having-refetch")
@@ -597,6 +717,7 @@ class Cluster:
         ]
         phase = PhaseVolume("skyline-stream")
         received: List[Tuple[float, ...]] = []
+        batch_size = self.config.batch_size
         if use_cheetah:
             pruner = SkylinePruner(
                 dims=len(columns),
@@ -604,13 +725,27 @@ class Cluster:
                 score=self.config.skyline_score,
             )
             self._maybe_validate(pruner)
-            for point in points:
-                phase.streamed += 1
-                if pruner.process(point) is PruneDecision.FORWARD:
-                    phase.forwarded += 1
-                    carried = pruner.last_carried
-                    assert carried is not None
-                    received.append(carried)
+            if batch_size is not None:
+                point_matrix = np.asarray(points, dtype=np.float64).reshape(
+                    -1, len(columns)
+                )
+                for lo in range(0, len(point_matrix), batch_size):
+                    chunk = point_matrix[lo : lo + batch_size]
+                    forward = pruner.process_batch(chunk)
+                    phase.streamed += len(chunk)
+                    phase.forwarded += int(forward.sum())
+                    for k in np.flatnonzero(forward):
+                        carried = pruner.last_batch_carried[k]
+                        assert carried is not None
+                        received.append(tuple(float(v) for v in carried))
+            else:
+                for point in points:
+                    phase.streamed += 1
+                    if pruner.process(point) is PruneDecision.FORWARD:
+                        phase.forwarded += 1
+                        carried = pruner.last_carried
+                        assert carried is not None
+                        received.append(carried)
             drained = pruner.drain()
             received.extend(drained)
             phase.forwarded += len(drained)

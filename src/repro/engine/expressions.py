@@ -92,7 +92,16 @@ class Compare(Expr):
         def evaluate(entry: object) -> bool:
             return bool(op_fn(entry[index], literal))
 
-        return Var(Atom(name=f"{self.column}{self.op}{self.literal}", evaluate=evaluate))
+        def evaluate_batch(columns_arrays: Tuple) -> np.ndarray:
+            return op_fn(columns_arrays[index], literal)
+
+        return Var(
+            Atom(
+                name=f"{self.column}{self.op}{self.literal}",
+                evaluate=evaluate,
+                evaluate_batch=evaluate_batch,
+            )
+        )
 
     def columns(self) -> List[str]:
         return [self.column]
@@ -125,11 +134,20 @@ class Like(Expr):
         def evaluate(entry: object) -> bool:
             return self._match(entry[index])
 
+        def evaluate_batch(columns_arrays: Tuple) -> np.ndarray:
+            column = columns_arrays[index]
+            return np.fromiter(
+                (self._match(value) for value in column),
+                dtype=bool,
+                count=len(column),
+            )
+
         return Var(
             Atom(
                 name=f"{self.column} LIKE {self.pattern!r}",
                 evaluate=evaluate,
                 supported=False,
+                evaluate_batch=evaluate_batch,
             )
         )
 

@@ -18,10 +18,20 @@ table.
 from __future__ import annotations
 
 import math
-from typing import Iterable
+from typing import Iterable, Sequence
+
+import numpy as np
 
 from ..errors import ConfigurationError
-from .hashing import Hashable, hash64, hash_family, hash_range
+from .hashing import (
+    Hashable,
+    canonical_batch,
+    hash64,
+    hash64_batch,
+    hash_family,
+    hash_range,
+    hash_range_batch,
+)
 
 _WORD_BITS = 64
 
@@ -48,6 +58,8 @@ class BloomFilter:
         self.size_bits = size_bits
         self.hashes = hashes
         self._hash_fns = hash_family(hashes, size_bits, base_seed=seed)
+        # The same per-unit seeds hash_family derives, for the batch path.
+        self._seeds = [seed * 0x1000 + i + 1 for i in range(hashes)]
         self._words = bytearray((size_bits + 7) // 8)
         self._inserted = 0
 
@@ -62,6 +74,42 @@ class BloomFilter:
         return all(
             self._words[fn(value) >> 3] & (1 << (fn(value) & 7)) for fn in self._hash_fns
         )
+
+    def add_batch(self, values: Sequence[Hashable]) -> None:
+        """Vectorized :meth:`add` for a whole value array.
+
+        Sets exactly the bits the equivalent scalar loop would set (bit OR
+        is commutative, so insertion order inside the batch is
+        irrelevant to the final filter state).
+        """
+        count = len(values)
+        if count == 0:
+            return
+        words = np.frombuffer(self._words, dtype=np.uint8)
+        canon = canonical_batch(values)
+        for seed in self._seeds:
+            index = hash_range_batch(None, self.size_bits, seed, canonical=canon)
+            np.bitwise_or.at(
+                words,
+                (index >> np.uint64(3)).astype(np.int64),
+                np.left_shift(np.uint8(1), (index & np.uint64(7)).astype(np.uint8)),
+            )
+        self._inserted += count
+
+    def contains_batch(self, values: Sequence[Hashable]) -> np.ndarray:
+        """Vectorized membership probe: ``result[i] == (values[i] in self)``."""
+        count = len(values)
+        result = np.ones(count, dtype=bool)
+        if count == 0:
+            return result
+        words = np.frombuffer(self._words, dtype=np.uint8)
+        canon = canonical_batch(values)
+        for seed in self._seeds:
+            index = hash_range_batch(None, self.size_bits, seed, canonical=canon)
+            byte = words[(index >> np.uint64(3)).astype(np.int64)]
+            bit = (byte >> (index & np.uint64(7)).astype(np.uint8)) & np.uint8(1)
+            result &= bit.astype(bool)
+        return result
 
     def update(self, values: Iterable[Hashable]) -> None:
         """Insert every value of an iterable."""
@@ -120,7 +168,7 @@ class RegisterBloomFilter:
         self.hashes = hashes
         self._seed = seed
         self._num_words = self.size_bits // _WORD_BITS
-        self._registers = [0] * self._num_words
+        self._registers = np.zeros(self._num_words, dtype=np.uint64)
         self._inserted = 0
 
     def _mask(self, value: Hashable) -> int:
@@ -135,17 +183,51 @@ class RegisterBloomFilter:
             mask |= 1 << position
         return mask
 
+    def _mask_batch(self, canon: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`_mask` from precomputed canonical values."""
+        raw = hash64_batch(None, self._seed ^ 0xB10C, canonical=canon)
+        mask = np.zeros(len(raw), dtype=np.uint64)
+        for i in range(self.hashes):
+            if i > 0 and i % 10 == 0:
+                raw = hash64_batch(raw, self._seed ^ (0xB10C + i))
+            position = (raw >> np.uint64(6 * (i % 10))) & np.uint64(_WORD_BITS - 1)
+            mask |= np.uint64(1) << position
+        return mask
+
     def _word_index(self, value: Hashable) -> int:
         return hash_range(value, self._num_words, self._seed ^ 0x5E6)
 
     def add(self, value: Hashable) -> None:
         """Insert ``value``: OR its mask into its register."""
-        self._registers[self._word_index(value)] |= self._mask(value)
+        self._registers[self._word_index(value)] |= np.uint64(self._mask(value))
         self._inserted += 1
 
     def __contains__(self, value: Hashable) -> bool:
         mask = self._mask(value)
-        return self._registers[self._word_index(value)] & mask == mask
+        return int(self._registers[self._word_index(value)]) & mask == mask
+
+    def add_batch(self, values: Sequence[Hashable]) -> None:
+        """Vectorized :meth:`add`: OR all masks into their registers."""
+        count = len(values)
+        if count == 0:
+            return
+        canon = canonical_batch(values)
+        index = hash_range_batch(
+            None, self._num_words, self._seed ^ 0x5E6, canonical=canon
+        )
+        np.bitwise_or.at(self._registers, index.astype(np.int64), self._mask_batch(canon))
+        self._inserted += count
+
+    def contains_batch(self, values: Sequence[Hashable]) -> np.ndarray:
+        """Vectorized membership probe: ``result[i] == (values[i] in self)``."""
+        if len(values) == 0:
+            return np.ones(0, dtype=bool)
+        canon = canonical_batch(values)
+        index = hash_range_batch(
+            None, self._num_words, self._seed ^ 0x5E6, canonical=canon
+        )
+        masks = self._mask_batch(canon)
+        return (self._registers[index.astype(np.int64)] & masks) == masks
 
     def update(self, values: Iterable[Hashable]) -> None:
         """Insert every value of an iterable."""
@@ -154,7 +236,7 @@ class RegisterBloomFilter:
 
     def clear(self) -> None:
         """Reset all registers to zero."""
-        self._registers = [0] * self._num_words
+        self._registers = np.zeros(self._num_words, dtype=np.uint64)
         self._inserted = 0
 
     @property
@@ -164,5 +246,5 @@ class RegisterBloomFilter:
 
     def fill_ratio(self) -> float:
         """Fraction of set bits across all registers."""
-        set_bits = sum(bin(word).count("1") for word in self._registers)
+        set_bits = sum(bin(int(word)).count("1") for word in self._registers)
         return set_bits / self.size_bits

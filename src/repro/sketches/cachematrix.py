@@ -19,12 +19,30 @@ Three row disciplines cover the paper's variants:
 
 from __future__ import annotations
 
+import math
+
 from typing import Callable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..errors import ConfigurationError
-from .hashing import Hashable, hash_range
+from .hashing import Hashable, hash_range, hash_range_batch
 
 _EMPTY = object()
+
+
+def _iter_row_groups(rows: np.ndarray):
+    """Yield ``(row, positions)`` groups of a row-assignment array.
+
+    ``positions`` are the original stream positions of every entry hashed
+    to ``row``, in stream order (stable sort), so replaying a group
+    sequentially reproduces exactly the scalar per-row state transitions.
+    """
+    order = np.argsort(rows, kind="stable")
+    sorted_rows = rows[order]
+    boundaries = np.flatnonzero(sorted_rows[1:] != sorted_rows[:-1]) + 1
+    for group in np.split(order, boundaries):
+        yield int(rows[group[0]]), group
 
 
 class CacheMatrix:
@@ -78,6 +96,34 @@ class CacheMatrix:
         cells.insert(0, value)
         cells.pop()
         return False
+
+    def row_of_batch(self, values: Sequence[Hashable]) -> np.ndarray:
+        """Vectorized :meth:`row_of` over a value array."""
+        return hash_range_batch(values, self.rows, self._seed ^ 0xD15C).astype(
+            np.int64
+        )
+
+    def lookup_insert_batch(
+        self, values: Sequence[Hashable], rows: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Chunked batch driver for :meth:`lookup_insert`.
+
+        Row assignment is vectorized; within each row the entries are
+        replayed sequentially in stream order, because the hit/miss result
+        of each lookup depends on the row state left by the previous one.
+        The returned hit array and the final matrix state are therefore
+        exactly what the scalar loop would produce.
+        """
+        count = len(values)
+        hits = np.zeros(count, dtype=bool)
+        if count == 0:
+            return hits
+        if rows is None:
+            rows = self.row_of_batch(values)
+        for row, positions in _iter_row_groups(rows):
+            for pos in positions:
+                hits[pos] = self.lookup_insert(values[pos], row)
+        return hits
 
     def clear(self) -> None:
         """Empty every row (query teardown / switch reboot)."""
@@ -142,6 +188,24 @@ class RollingMinMatrix:
         self._cells[row] = kept + [None] * (self.cols - len(kept))
         return False
 
+    def offer_batch(self, values: Sequence[float], rows: np.ndarray) -> np.ndarray:
+        """Chunked batch driver for :meth:`offer`.
+
+        Entries are grouped by target row and replayed sequentially within
+        each group in stream order — a row's prune decision depends on the
+        values it already holds, so only the grouping is vectorized.
+        Returns the per-entry pruned flags the scalar loop would return.
+        """
+        count = len(values)
+        pruned = np.zeros(count, dtype=bool)
+        if count == 0:
+            return pruned
+        rows = np.asarray(rows)
+        for row, positions in _iter_row_groups(rows):
+            for pos in positions:
+                pruned[pos] = self.offer(float(values[pos]), row)
+        return pruned
+
     def row_values(self, row: int) -> List[float]:
         """Stored values of ``row``, largest first."""
         return [cell for cell in self._cells[row] if cell is not None]
@@ -194,15 +258,23 @@ class KeyedAggregateMatrix:
         """Deterministic row assignment for ``key``."""
         return hash_range(key, self.rows, self._seed ^ 0x6B)
 
-    def observe(self, key: Hashable, value: float) -> bool:
+    def row_of_batch(self, keys: Sequence[Hashable]) -> np.ndarray:
+        """Vectorized :meth:`row_of` over a key array."""
+        return hash_range_batch(keys, self.rows, self._seed ^ 0x6B).astype(np.int64)
+
+    def observe(
+        self, key: Hashable, value: float, row: Optional[int] = None
+    ) -> bool:
         """Process one entry; return True when it is safe to prune.
 
         Safe to prune means the key is cached in its row with an aggregate
         at least as good, so this entry cannot change the group's result.
         A new or improved key updates the cache (rolling replacement on
-        insertion) and is forwarded.
+        insertion) and is forwarded.  ``row`` short-circuits the row hash
+        when the caller has already computed it (the batch driver).
         """
-        row = self.row_of(key)
+        if row is None:
+            row = self.row_of(key)
         cells = self._cells[row]
         for col, cell in enumerate(cells):
             if cell is not None and cell[0] == key:
@@ -213,6 +285,25 @@ class KeyedAggregateMatrix:
         cells.insert(0, (key, value))
         cells.pop()
         return False
+
+    def observe_batch(
+        self, keys: Sequence[Hashable], values: Sequence[float]
+    ) -> np.ndarray:
+        """Chunked batch driver for :meth:`observe`.
+
+        Row assignment is vectorized; each row's entries replay
+        sequentially in stream order because a key's prune decision
+        depends on the aggregate left by its previous occurrences.
+        """
+        count = len(keys)
+        pruned = np.zeros(count, dtype=bool)
+        if count == 0:
+            return pruned
+        rows = self.row_of_batch(keys)
+        for row, positions in _iter_row_groups(rows):
+            for pos in positions:
+                pruned[pos] = self.observe(keys[pos], float(values[pos]), row)
+        return pruned
 
     def cached_keys(self, row: int) -> List[Hashable]:
         """Keys currently cached in ``row``."""
@@ -233,8 +324,6 @@ def expected_distinct_pruning(distinct: int, rows: int, cols: int) -> float:
     ``0.99 * min(w*d / (D*e), 1)`` for a random-order stream with ``D``
     distinct values, valid when ``D > d*ln(200d)``.
     """
-    import math
-
     if distinct <= 0:
         return 1.0
     return 0.99 * min(cols * rows / (distinct * math.e), 1.0)

@@ -12,10 +12,36 @@ bench compares the two.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
+
+import numpy as np
 
 from ..errors import ConfigurationError
-from .hashing import Hashable, hash_family
+from .hashing import Hashable, canonical_batch, hash_family, hash_range_batch
+
+
+def _grouped_running_sum(indexes: np.ndarray, amounts: np.ndarray) -> np.ndarray:
+    """Inclusive running sum of ``amounts`` within equal-index groups.
+
+    ``result[k]`` is the sum of ``amounts[j]`` over ``j <= k`` with
+    ``indexes[j] == indexes[k]`` — i.e. what a sequential counter at
+    ``indexes[k]`` would read right after the ``k``-th update.  Relies on
+    ``amounts >= 0`` (the cumulative sum is non-decreasing, so a
+    ``maximum.accumulate`` carries each group's starting offset forward).
+    """
+    order = np.argsort(indexes, kind="stable")
+    sorted_idx = indexes[order]
+    sorted_amounts = amounts[order]
+    csum = np.cumsum(sorted_amounts)
+    starts = np.empty(len(indexes), dtype=bool)
+    starts[0] = True
+    starts[1:] = sorted_idx[1:] != sorted_idx[:-1]
+    before_group = np.maximum.accumulate(
+        np.where(starts, csum - sorted_amounts, 0)
+    )
+    running = np.empty(len(indexes), dtype=np.int64)
+    running[order] = csum - before_group
+    return running
 
 
 class CountMinSketch:
@@ -49,7 +75,9 @@ class CountMinSketch:
         self.depth = depth
         self.conservative = conservative
         self._hash_fns = hash_family(depth, width, base_seed=seed)
-        self._rows: List[List[int]] = [[0] * width for _ in range(depth)]
+        # The per-row seeds hash_family derives, for the batch path.
+        self._seeds = [seed * 0x1000 + i + 1 for i in range(depth)]
+        self._rows = np.zeros((depth, width), dtype=np.int64)
         self._total = 0
 
     def _indexes(self, key: Hashable) -> List[int]:
@@ -80,6 +108,57 @@ class CountMinSketch:
         """Upper-bound estimate of the total amount added for ``key``."""
         return min(self._rows[r][i] for r, i in enumerate(self._indexes(key)))
 
+    def estimate_batch(self, keys: Sequence[Hashable]) -> np.ndarray:
+        """Vectorized :meth:`estimate` over a key array."""
+        count = len(keys)
+        if count == 0:
+            return np.zeros(0, dtype=np.int64)
+        canon = canonical_batch(keys)
+        result = None
+        for r, seed in enumerate(self._seeds):
+            idx = hash_range_batch(None, self.width, seed, canonical=canon)
+            row_vals = self._rows[r][idx.astype(np.int64)]
+            result = row_vals if result is None else np.minimum(result, row_vals)
+        return result
+
+    def add_batch(
+        self, keys: Sequence[Hashable], amounts: Union[int, Sequence[int]] = 1
+    ) -> np.ndarray:
+        """Vectorized :meth:`add`: returns the post-add estimate per entry.
+
+        The returned estimates are exactly what the scalar ``add`` loop
+        would have returned entry by entry — including the interaction of
+        duplicate keys *inside* the batch, which is reconstructed with a
+        grouped running sum.  Conservative update is inherently sequential
+        (each update depends on the estimate after the previous one), so
+        that variant falls back to the scalar loop.
+        """
+        count = len(keys)
+        amounts_arr = np.broadcast_to(
+            np.asarray(amounts, dtype=np.int64), (count,)
+        ).copy()
+        if np.any(amounts_arr < 0):
+            bad = int(amounts_arr[amounts_arr < 0][0])
+            raise ConfigurationError(f"negative updates unsupported, got {bad}")
+        if count == 0:
+            return np.zeros(0, dtype=np.int64)
+        if self.conservative:
+            return np.fromiter(
+                (self.add(key, int(amount)) for key, amount in zip(keys, amounts_arr)),
+                dtype=np.int64,
+                count=count,
+            )
+        canon = canonical_batch(keys)
+        estimates = None
+        for r, seed in enumerate(self._seeds):
+            idx = hash_range_batch(None, self.width, seed, canonical=canon)
+            idx = idx.astype(np.int64)
+            running = self._rows[r][idx] + _grouped_running_sum(idx, amounts_arr)
+            np.add.at(self._rows[r], idx, amounts_arr)
+            estimates = running if estimates is None else np.minimum(estimates, running)
+        self._total += int(amounts_arr.sum())
+        return estimates
+
     def update(self, pairs: Iterable[Tuple[Hashable, int]]) -> None:
         """Add a stream of ``(key, amount)`` pairs."""
         for key, amount in pairs:
@@ -87,7 +166,7 @@ class CountMinSketch:
 
     def clear(self) -> None:
         """Zero all counters."""
-        self._rows = [[0] * self.width for _ in range(self.depth)]
+        self._rows = np.zeros((self.depth, self.width), dtype=np.int64)
         self._total = 0
 
     @property

@@ -15,8 +15,10 @@ import math
 from dataclasses import dataclass
 from typing import Sequence
 
+import numpy as np
+
 from ..errors import ConfigurationError
-from .hashing import Hashable, fingerprint
+from .hashing import Hashable, fingerprint, fingerprint_batch
 
 
 @dataclass(frozen=True)
@@ -39,6 +41,10 @@ class FingerprintScheme:
     def of_columns(self, values: Sequence[Hashable]) -> int:
         """Fingerprint a multi-column key (order-sensitive)."""
         return fingerprint(tuple(values), self.bits, self.seed)
+
+    def of_batch(self, values: Sequence[Hashable]) -> np.ndarray:
+        """Vectorized :meth:`of`: ``uint64`` fingerprints, one per value."""
+        return fingerprint_batch(values, self.bits, self.seed)
 
 
 def max_row_load(distinct: int, rows: int, delta: float) -> float:

@@ -5,15 +5,34 @@ polynomials with per-unit seeds).  We model them with a splitmix64-based
 family: deterministic, cheap, and well distributed, with independent
 streams selected by ``seed``.  All sketches take hash functions from
 :func:`hash_family` so tests can fix seeds and reproduce exact layouts.
+
+Every scalar function has a ``*_batch`` twin operating on whole
+``np.uint64`` arrays with bit-for-bit identical outputs — the substrate
+of the vectorized dataplane (``Pruner.process_batch``).  The batch
+functions model the same hardware hash units; they only amortize the
+interpreter overhead of driving them one packet at a time.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Union
+import struct
+
+from typing import Callable, Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
 _MASK64 = (1 << 64) - 1
+
+# uint64 constants for the vectorized kernels (NumPy >= 2 keeps uint64
+# arithmetic in uint64 under NEP 50; wrapping multiplication/addition is
+# exactly the scalar `& _MASK64` behaviour).
+_U64 = np.uint64
+_GAMMA = _U64(0x9E3779B97F4A7C15)
+_MIX1 = _U64(0xBF58476D1CE4E5B9)
+_MIX2 = _U64(0x94D049BB133111EB)
+_FNV_OFFSET = _U64(0xCBF29CE484222325)
+_FNV_PRIME = _U64(0x100000001B3)
+_LOW32 = _U64(0xFFFFFFFF)
 
 #: Values every hash function in the library accepts.
 Hashable = Union[int, str, bytes, float, tuple]
@@ -43,7 +62,7 @@ def canonical_int(value: Hashable) -> int:
     elements recursively.  The mapping is stable across processes (unlike
     built-in ``hash``, which is salted for str).
     """
-    if isinstance(value, bool):
+    if isinstance(value, (bool, np.bool_)):
         return int(value)
     if isinstance(value, int):
         return value & _MASK64
@@ -56,8 +75,6 @@ def canonical_int(value: Hashable) -> int:
     if isinstance(value, str):
         return _bytes_to_int(value.encode("utf-8"))
     if isinstance(value, float):
-        import struct
-
         return _bytes_to_int(struct.pack("<d", value))
     if isinstance(value, tuple):
         acc = 0x9E3779B97F4A7C15
@@ -119,3 +136,134 @@ def combine(values: Iterable[Hashable], seed: int = 0) -> int:
     for value in values:
         acc = _splitmix64(acc ^ canonical_int(value))
     return acc
+
+
+# -- vectorized batch kernels --------------------------------------------------
+
+
+def _splitmix64_inplace(x: np.ndarray) -> np.ndarray:
+    """One splitmix64 round over a ``uint64`` array, mutating ``x``."""
+    x += _GAMMA
+    x ^= x >> _U64(30)
+    x *= _MIX1
+    x ^= x >> _U64(27)
+    x *= _MIX2
+    x ^= x >> _U64(31)
+    return x
+
+
+def _fnv_double_batch(values: np.ndarray) -> np.ndarray:
+    """Vectorized FNV-1a over the little-endian bytes of float64 values."""
+    data = np.ascontiguousarray(values, dtype="<f8").view(np.uint8)
+    data = data.reshape(len(values), 8)
+    acc = np.full(len(values), _FNV_OFFSET, dtype=np.uint64)
+    for i in range(8):
+        acc ^= data[:, i].astype(np.uint64)
+        acc *= _FNV_PRIME
+    return acc
+
+
+def canonical_batch(values) -> np.ndarray:
+    """Vectorized :func:`canonical_int`: a ``uint64`` array of canon values.
+
+    Accepts a 1-D numpy array or any sequence.  Integer, boolean and float
+    dtypes are converted with vectorized kernels; strings, bytes, tuples
+    and mixed object sequences fall back to a per-element
+    :func:`canonical_int` loop (still bit-for-bit identical, just not
+    SIMD).  Output ``i`` always equals ``canonical_int(values[i])``.
+    """
+    if isinstance(values, np.ndarray) and values.ndim == 1:
+        kind = values.dtype.kind
+        if kind == "b":
+            return values.astype(np.uint64)
+        if kind == "u":
+            return values.astype(np.uint64)
+        if kind == "i":
+            return values.astype(np.int64).view(np.uint64)
+        if kind == "f":
+            return _fnv_double_batch(values)
+        return np.fromiter(
+            (canonical_int(v) for v in values), dtype=np.uint64, count=len(values)
+        )
+    seq = values if isinstance(values, (list, tuple)) else list(values)
+    if seq and isinstance(seq[0], (int, float, bool, np.integer, np.floating, np.bool_)):
+        try:
+            arr = np.asarray(seq)
+        except (OverflowError, ValueError):
+            arr = None
+        if arr is not None and arr.ndim == 1 and arr.dtype.kind in "buif":
+            return canonical_batch(arr)
+    return np.fromiter(
+        (canonical_int(v) for v in seq), dtype=np.uint64, count=len(seq)
+    )
+
+
+def hash64_batch(
+    values, seed: int = 0, canonical: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Vectorized :func:`hash64`: uniform 64-bit hashes as a ``uint64`` array.
+
+    ``canonical`` lets callers that probe several seeds (Bloom filters,
+    Count-Min rows) reuse one :func:`canonical_batch` pass.
+    """
+    if canonical is None:
+        canonical = canonical_batch(values)
+    mixed = canonical ^ _U64(_splitmix64(seed & _MASK64))
+    return _splitmix64_inplace(mixed)
+
+
+def _mulhi64(x: np.ndarray, n: int) -> np.ndarray:
+    """High 64 bits of ``x * n`` for a ``uint64`` array and ``n < 2**64``."""
+    x_lo = x & _LOW32
+    x_hi = x >> _U64(32)
+    if n < 1 << 32:
+        y = _U64(n)
+        return (x_hi * y + ((x_lo * y) >> _U64(32))) >> _U64(32)
+    y_lo = _U64(n & 0xFFFFFFFF)
+    y_hi = _U64(n >> 32)
+    lo_lo = x_lo * y_lo
+    hi_lo = x_hi * y_lo
+    lo_hi = x_lo * y_hi
+    hi_hi = x_hi * y_hi
+    cross = (lo_lo >> _U64(32)) + (hi_lo & _LOW32) + lo_hi
+    return hi_hi + (hi_lo >> _U64(32)) + (cross >> _U64(32))
+
+
+def hash_range_batch(
+    values, n: int, seed: int = 0, canonical: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Vectorized :func:`hash_range`: indexes in ``{0, ..., n-1}``.
+
+    Same Lemire high-multiply reduction as the scalar function, computed
+    with 32-bit limb arithmetic (numpy has no 128-bit integers).
+    """
+    if n <= 0:
+        raise ValueError(f"range size must be positive, got {n}")
+    return _mulhi64(hash64_batch(values, seed, canonical=canonical), n)
+
+
+BatchHashFn = Callable[[Sequence], np.ndarray]
+
+
+def hash_family_batch(count: int, n: int, base_seed: int = 0) -> List[BatchHashFn]:
+    """Vectorized :func:`hash_family`: ``count`` batch hash functions.
+
+    Function ``i`` maps a value array to the same indexes as scalar
+    ``hash_family(count, n, base_seed)[i]`` maps each element.
+    """
+    if count <= 0:
+        raise ValueError(f"need at least one hash function, got {count}")
+
+    def make(seed: int) -> BatchHashFn:
+        return lambda values: hash_range_batch(values, n, seed)
+
+    return [make(base_seed * 0x1000 + i + 1) for i in range(count)]
+
+
+def fingerprint_batch(
+    values, bits: int, seed: int = 0, canonical: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Vectorized :func:`fingerprint`: ``bits``-wide fingerprints."""
+    if not 1 <= bits <= 64:
+        raise ValueError(f"fingerprint width must be in [1, 64], got {bits}")
+    return hash64_batch(values, seed ^ 0x5FD1, canonical=canonical) >> _U64(64 - bits)

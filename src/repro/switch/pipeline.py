@@ -32,6 +32,7 @@ class Phv:
         self._budget_bits = budget_bits
         self._widths: Dict[str, int] = {}
         self._values: Dict[str, int] = {}
+        self._used_bits = 0
         self.prune = False
 
     def declare(self, name: str, width_bits: int, value: int = 0) -> None:
@@ -40,14 +41,14 @@ class Phv:
             raise ConfigurationError(f"PHV field {name!r} already declared")
         if width_bits <= 0:
             raise ConfigurationError(f"PHV field width must be positive, got {width_bits}")
-        used = sum(self._widths.values())
-        if used + width_bits > self._budget_bits:
+        if self._used_bits + width_bits > self._budget_bits:
             raise ResourceError(
                 f"PHV field {name!r} ({width_bits}b) exceeds budget: "
-                f"{used}/{self._budget_bits} bits already used"
+                f"{self._used_bits}/{self._budget_bits} bits already used"
             )
         self._widths[name] = width_bits
         self._values[name] = value & ((1 << width_bits) - 1)
+        self._used_bits += width_bits
 
     def __getitem__(self, name: str) -> int:
         return self._values[name]
@@ -62,8 +63,8 @@ class Phv:
 
     @property
     def used_bits(self) -> int:
-        """Total declared field width."""
-        return sum(self._widths.values())
+        """Total declared field width (running counter; O(1))."""
+        return self._used_bits
 
 
 @dataclass

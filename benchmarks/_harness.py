@@ -11,17 +11,34 @@ throughput numbers.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
-def emit(name: str, lines: Iterable[str]) -> str:
-    """Write an experiment's table to results/<name>.txt and return it."""
+def emit(name: str, lines: Iterable[str], metrics: Optional[dict] = None) -> str:
+    """Write an experiment's table to results/<name>.txt and return it.
+
+    A machine-readable companion, ``results/<name>.metrics.json``, is
+    written alongside the table so CI can archive and schema-check the
+    numbers behind every artifact.  ``metrics`` is either a
+    ``MetricsRegistry.to_dict()`` payload or any JSON-serializable dict
+    of benchmark figures; omitted, the envelope is still written (with
+    an empty metrics object) so the artifact set stays uniform.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     text = "\n".join(lines) + "\n"
     (RESULTS_DIR / f"{name}.txt").write_text(text)
+    envelope = {
+        "benchmark": name,
+        "artifact": f"{name}.txt",
+        "metrics": metrics or {},
+    }
+    (RESULTS_DIR / f"{name}.metrics.json").write_text(
+        json.dumps(envelope, indent=2, sort_keys=True) + "\n"
+    )
     print(f"\n=== {name} ===")
     print(text)
     return text

@@ -23,6 +23,7 @@ import numpy as np
 import pytest
 
 from repro.core.base import PruneDecision
+from repro.obs import null_registry
 from repro.core.distinct import DistinctPruner
 from repro.core.filtering import FilterPruner
 from repro.core.groupby import GroupByPruner
@@ -268,6 +269,7 @@ def test_batch_vs_scalar_report():
     end-to-end equivalence check at benchmark scale.
     """
     rows = []
+    figures = {}
     for name, count, scalar_run, batch_run in _batch_specs():
         start = time.perf_counter()
         scalar_mask = scalar_run()
@@ -278,6 +280,12 @@ def test_batch_vs_scalar_report():
         assert np.array_equal(scalar_mask, batch_mask), (
             f"{name}: batch decisions diverge from scalar"
         )
+        figures[name] = {
+            "entries": count,
+            "scalar_entries_per_s": count / scalar_s,
+            "batch_entries_per_s": count / batch_s,
+            "speedup": scalar_s / batch_s,
+        }
         rows.append(
             [
                 name,
@@ -298,4 +306,102 @@ def test_batch_vs_scalar_report():
             ["pruner", "entries", "scalar entries/s", "batch entries/s", "speedup"],
             rows,
         ),
+        metrics=figures,
     )
+
+
+# ---------------------------------------------------------------------------
+# Instrumentation overhead
+# ---------------------------------------------------------------------------
+
+
+def _one_filter_pass(instrumented, batched, inputs):
+    """Wall time of one FilterPruner pass over the prepared inputs.
+
+    ``instrumented=False`` swaps in the shared null registry via
+    ``with_metrics`` — the record calls still execute, but every sample
+    is a no-op, isolating the cost of the live counters themselves.
+    """
+    formula, filter_rows, chunked = inputs
+    pruner = FilterPruner(formula)
+    if not instrumented:
+        pruner.with_metrics(null_registry())
+    start = time.perf_counter()
+    if batched:
+        _batch_decisions(pruner, chunked)
+    else:
+        _scalar_decisions(pruner, filter_rows)
+    return time.perf_counter() - start
+
+
+def _race_filter(batched, inputs, repeats=5):
+    """Best-of-``repeats`` (instrumented_s, null_s), interleaved.
+
+    Alternating the two configurations inside one loop (after a warmup
+    pass each) keeps slow machine-level drift — thermal throttling, a
+    noisy neighbour — from landing entirely on one side of the race.
+    """
+    _one_filter_pass(True, batched, inputs)
+    _one_filter_pass(False, batched, inputs)
+    best_on = best_off = float("inf")
+    for _ in range(repeats):
+        best_on = min(best_on, _one_filter_pass(True, batched, inputs))
+        best_off = min(best_off, _one_filter_pass(False, batched, inputs))
+    return best_on, best_off
+
+
+def test_metrics_overhead_report():
+    """Measure the cost of live metrics on the 1M-entry filter benchmark.
+
+    Races the default (instrumented) FilterPruner against the same pruner
+    rebound to ``null_registry()``, on both the scalar and batch paths.
+    The acceptance bar is < 10% overhead on the batch path, which records
+    one counter update per chunk rather than per entry.
+    """
+    n = BATCH_N
+    price = np.asarray(revenue_stream(n, seed=12), dtype=np.float64)
+    qty = np.asarray(random_order_stream(n, 50, seed=14), dtype=np.int64)
+    formula = ((col("price") > 120.0) & (col("qty") <= 24)).to_formula(
+        ["price", "qty"]
+    )
+    inputs = (formula, list(zip(price.tolist(), qty.tolist())), _chunks((price, qty)))
+
+    rows = []
+    figures = {"entries": n, "batch_size": BATCH_SIZE}
+    for path, batched in (("scalar", False), ("batch", True)):
+        on_s, off_s = _race_filter(batched, inputs)
+        overhead = (on_s - off_s) / off_s
+        figures[path] = {
+            "instrumented_s": on_s,
+            "null_registry_s": off_s,
+            "overhead": overhead,
+        }
+        rows.append(
+            [
+                path,
+                f"{n:,}",
+                f"{on_s * 1000:,.1f}",
+                f"{off_s * 1000:,.1f}",
+                f"{overhead:+.1%}",
+            ]
+        )
+    emit(
+        "metrics_overhead",
+        [
+            f"Metrics instrumentation overhead on the filter pruner "
+            f"(stream={n:,}, batch_size={BATCH_SIZE:,})",
+            "",
+        ]
+        + table(
+            ["path", "entries", "metrics ms", "null-registry ms", "overhead"],
+            rows,
+        ),
+        metrics=figures,
+    )
+    # Sub-millisecond batch runs (tiny CI smoke streams) are noise-bound;
+    # the 10% budget is only meaningful at benchmark scale.
+    if n >= 200_000:
+        assert figures["batch"]["overhead"] < 0.10, (
+            f"batch-path metrics overhead {figures['batch']['overhead']:.1%} "
+            f"exceeds the 10% budget"
+        )

@@ -1,0 +1,176 @@
+#!/usr/bin/env python
+"""Validate metrics JSON artifacts against the expected shapes.
+
+Two document shapes are accepted (stdlib-only validation — no
+jsonschema dependency):
+
+1. **Run reports** written by ``repro query --metrics-out``: top-level
+   keys ``query``/``op_kind``/``totals``/``phases``/``metrics``, where
+   ``metrics`` is a ``MetricsRegistry.to_dict()`` payload.
+2. **Benchmark envelopes** written by ``benchmarks/_harness.emit``:
+   ``{"benchmark": ..., "artifact": ..., "metrics": {...}}`` where
+   ``metrics`` is either a registry payload or a free-form figures dict.
+
+Usage::
+
+    python scripts/check_metrics_schema.py benchmarks/results/*.metrics.json
+
+Exits non-zero (printing one line per problem) if any file fails.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import List
+
+
+def _is_labels(obj) -> bool:
+    return isinstance(obj, dict) and all(
+        isinstance(k, str) and isinstance(v, str) for k, v in obj.items()
+    )
+
+
+def _check_registry_payload(payload, where: str, problems: List[str]) -> None:
+    """Validate a MetricsRegistry.to_dict() dict in place."""
+    if not isinstance(payload, dict):
+        problems.append(f"{where}: registry payload is not an object")
+        return
+    for section in ("counters", "gauges", "histograms", "spans"):
+        if section not in payload:
+            problems.append(f"{where}: missing registry section {section!r}")
+        elif not isinstance(payload[section], list):
+            problems.append(f"{where}: registry section {section!r} is not a list")
+    for entry in payload.get("counters", []):
+        if not (
+            isinstance(entry, dict)
+            and isinstance(entry.get("name"), str)
+            and _is_labels(entry.get("labels"))
+            and isinstance(entry.get("value"), int)
+            and entry["value"] >= 0
+        ):
+            problems.append(f"{where}: malformed counter entry {entry!r}")
+    for entry in payload.get("gauges", []):
+        if not (
+            isinstance(entry, dict)
+            and isinstance(entry.get("name"), str)
+            and _is_labels(entry.get("labels"))
+            and isinstance(entry.get("value"), (int, float))
+        ):
+            problems.append(f"{where}: malformed gauge entry {entry!r}")
+    for entry in payload.get("histograms", []):
+        ok = (
+            isinstance(entry, dict)
+            and isinstance(entry.get("name"), str)
+            and _is_labels(entry.get("labels"))
+            and isinstance(entry.get("buckets"), list)
+            and isinstance(entry.get("count"), int)
+            and isinstance(entry.get("sum"), (int, float))
+        )
+        if ok:
+            for pair in entry["buckets"]:
+                if not (
+                    isinstance(pair, list)
+                    and len(pair) == 2
+                    and isinstance(pair[1], int)
+                ):
+                    ok = False
+                    break
+            else:
+                if not entry["buckets"] or entry["buckets"][-1][0] != "+Inf":
+                    ok = False
+        if not ok:
+            problems.append(
+                f"{where}: malformed histogram entry "
+                f"{entry.get('name') if isinstance(entry, dict) else entry!r}"
+            )
+    for entry in payload.get("spans", []):
+        if not (
+            isinstance(entry, dict)
+            and isinstance(entry.get("name"), str)
+            and isinstance(entry.get("seconds"), (int, float))
+            and _is_labels(entry.get("labels"))
+        ):
+            problems.append(f"{where}: malformed span entry {entry!r}")
+
+
+def _check_run_report(doc, where: str, problems: List[str]) -> None:
+    for key in ("query", "op_kind", "workers", "totals", "phases", "metrics"):
+        if key not in doc:
+            problems.append(f"{where}: run report missing key {key!r}")
+    totals = doc.get("totals")
+    if isinstance(totals, dict):
+        for key in ("streamed", "forwarded", "pruned", "pruning_rate"):
+            if key not in totals:
+                problems.append(f"{where}: totals missing {key!r}")
+    else:
+        problems.append(f"{where}: totals is not an object")
+    phases = doc.get("phases")
+    if isinstance(phases, list):
+        for phase in phases:
+            if not (
+                isinstance(phase, dict)
+                and isinstance(phase.get("name"), str)
+                and isinstance(phase.get("streamed"), int)
+                and isinstance(phase.get("forwarded"), int)
+            ):
+                problems.append(f"{where}: malformed phase entry {phase!r}")
+    else:
+        problems.append(f"{where}: phases is not a list")
+    metrics = doc.get("metrics")
+    if metrics:  # an empty dict is legal (metrics disabled)
+        _check_registry_payload(metrics, where, problems)
+
+
+def _check_bench_envelope(doc, where: str, problems: List[str]) -> None:
+    if not isinstance(doc.get("benchmark"), str):
+        problems.append(f"{where}: envelope missing string 'benchmark'")
+    if not isinstance(doc.get("artifact"), str):
+        problems.append(f"{where}: envelope missing string 'artifact'")
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        problems.append(f"{where}: envelope 'metrics' is not an object")
+    elif "counters" in metrics:  # registry payload; otherwise free-form figures
+        _check_registry_payload(metrics, where, problems)
+
+
+def check_file(path: str, problems: List[str]) -> None:
+    """Validate one metrics JSON file, appending problems in place."""
+    try:
+        with open(path) as handle:
+            doc = json.load(handle)
+    except (OSError, ValueError) as error:
+        problems.append(f"{path}: unreadable ({error})")
+        return
+    if not isinstance(doc, dict):
+        problems.append(f"{path}: top level is not an object")
+        return
+    if "benchmark" in doc:
+        _check_bench_envelope(doc, path, problems)
+    elif "query" in doc:
+        _check_run_report(doc, path, problems)
+    else:
+        problems.append(
+            f"{path}: neither a benchmark envelope ('benchmark' key) "
+            f"nor a run report ('query' key)"
+        )
+
+
+def main(argv: List[str]) -> int:
+    """Validate every path given; return 0 only if all pass."""
+    if not argv:
+        print("usage: check_metrics_schema.py FILE.metrics.json [...]",
+              file=sys.stderr)
+        return 2
+    problems: List[str] = []
+    for path in argv:
+        check_file(path, problems)
+    for problem in problems:
+        print(f"SCHEMA: {problem}", file=sys.stderr)
+    if not problems:
+        print(f"schema ok: {len(argv)} file(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -4,18 +4,25 @@ Usage examples::
 
     python -m repro query "SELECT DISTINCT userAgent FROM UserVisits"
     python -m repro query "SELECT TOP 100 duration FROM UserVisits ORDER BY adRevenue" --rows 50000
+    python -m repro query "SELECT COUNT(*) FROM UserVisits WHERE duration > 30" --metrics-out m.json
+    python -m repro metrics m.json
     python -m repro table2
     python -m repro workloads
 
 The ``query`` subcommand generates the Big Data benchmark tables at the
 requested scale, parses the SQL, executes it with switch pruning,
 verifies the output against the reference executor, and prints volumes
-plus modeled completion times.
+plus modeled completion times.  ``--metrics-out PATH`` additionally
+writes the structured run report (phase wall-times, per-pruner decision
+counts, sketch-health gauges); the ``metrics`` subcommand pretty-prints
+such a report, or re-exports it in Prometheus text format with
+``--prom``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -49,11 +56,20 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument("--csv", action="append", default=[], metavar="NAME=PATH",
                        help="load a table from CSV instead of generating it "
                             "(repeatable, e.g. --csv Ratings=ratings.csv)")
+    query.add_argument("--metrics-out", metavar="PATH", default=None,
+                       help="write the structured run report (JSON) to PATH")
 
     explain_cmd = sub.add_parser(
         "explain", help="show the switch/master plan for a SQL query"
     )
     explain_cmd.add_argument("sql", help="the SELECT statement")
+
+    metrics_cmd = sub.add_parser(
+        "metrics", help="pretty-print a saved run report (see query --metrics-out)"
+    )
+    metrics_cmd.add_argument("path", help="a JSON report written by --metrics-out")
+    metrics_cmd.add_argument("--prom", action="store_true",
+                             help="emit the Prometheus text format instead")
 
     sub.add_parser("table2", help="print the Table 2 resource footprints")
     sub.add_parser("workloads", help="list the generated tables and columns")
@@ -98,6 +114,44 @@ def _cmd_query(args: argparse.Namespace) -> int:
           f"(worker {cheetah.worker:.3f} / send {cheetah.network:.3f} / "
           f"master {cheetah.master:.3f}), spark {spark.total:.3f}s "
           f"-> {spark.total / cheetah.total:.2f}x")
+    if args.metrics_out is not None:
+        with open(args.metrics_out, "w") as handle:
+            json.dump(result.report(), handle, indent=2, sort_keys=True)
+        print(f"metrics  : written to {args.metrics_out}")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    with open(args.path) as handle:
+        report = json.load(handle)
+    metrics = report.get("metrics", {})
+    if args.prom:
+        from .obs import MetricsRegistry
+
+        sys.stdout.write(MetricsRegistry.from_dict(metrics).to_prometheus())
+        return 0
+    print(f"query    : {report.get('query', '?')}")
+    print(f"operator : {report.get('op_kind', '?')} "
+          f"(cheetah={report.get('used_cheetah')}, "
+          f"workers={report.get('workers')})")
+    totals = report.get("totals", {})
+    print(f"traffic  : {totals.get('streamed', 0)} streamed, "
+          f"{totals.get('forwarded', 0)} forwarded, "
+          f"{totals.get('pruned', 0)} pruned "
+          f"({totals.get('pruning_rate', 0.0):.2%})")
+    for phase in report.get("phases", ()):
+        seconds = phase.get("seconds")
+        timing = f"{seconds * 1000:.2f} ms" if seconds is not None else "-"
+        print(f"phase    : {phase['name']:16s} streamed={phase['streamed']:>8d} "
+              f"forwarded={phase['forwarded']:>8d} wall={timing}")
+    for span in metrics.get("spans", ()):
+        print(f"span     : {span['name']:16s} {span['seconds'] * 1000:.2f} ms")
+    for entry in metrics.get("counters", ()):
+        labels = ",".join(f"{k}={v}" for k, v in sorted(entry["labels"].items()))
+        print(f"counter  : {entry['name']}{{{labels}}} = {entry['value']}")
+    for entry in metrics.get("gauges", ()):
+        labels = ",".join(f"{k}={v}" for k, v in sorted(entry["labels"].items()))
+        print(f"gauge    : {entry['name']}{{{labels}}} = {entry['value']:.6g}")
     return 0
 
 
@@ -134,6 +188,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "query": _cmd_query,
         "explain": _cmd_explain,
+        "metrics": _cmd_metrics,
         "table2": _cmd_table2,
         "workloads": _cmd_workloads,
     }

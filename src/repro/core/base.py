@@ -21,12 +21,12 @@ extra entries.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
 from enum import Enum
 from typing import Generic, Iterable, Iterator, List, Optional, Sequence, Tuple, TypeVar
 
 import numpy as np
 
+from ..obs import MetricsRegistry, ratio
 from ..switch.resources import ResourceFootprint, ResourceModel, TOFINO
 
 Entry = TypeVar("Entry")
@@ -94,45 +94,108 @@ class Guarantee(Enum):
     PROBABILISTIC = "probabilistic"
 
 
-@dataclass
 class PruneStats:
-    """Running counters a pruner maintains."""
+    """Running decision counters — a thin view over registry samples.
 
-    processed: int = 0
-    pruned: int = 0
+    The counters themselves live in a :class:`~repro.obs.MetricsRegistry`
+    (``pruner_entries_processed_total`` / ``pruner_entries_pruned_total``),
+    so the same numbers appear in exports and roll-ups; this view keeps
+    the historical ``stats.processed`` / ``stats.pruned`` /
+    ``stats.forwarded`` / ``stats.pruning_rate`` API working unchanged.
+    Constructed with no arguments it owns a private registry, so
+    standalone uses (``PruneStats()``) still work.
+    """
+
+    __slots__ = ("_processed", "_pruned")
+
+    def __init__(
+        self, registry: Optional[MetricsRegistry] = None, **labels: object
+    ) -> None:
+        if registry is None:
+            registry = MetricsRegistry()
+        self._processed = registry.counter(
+            "pruner_entries_processed_total",
+            "Entries the pruner made a decision for.",
+            **labels,
+        )
+        self._pruned = registry.counter(
+            "pruner_entries_pruned_total",
+            "Entries the pruner dropped at the switch.",
+            **labels,
+        )
+
+    @property
+    def processed(self) -> int:
+        """Entries a decision was made for."""
+        return self._processed.value
+
+    @property
+    def pruned(self) -> int:
+        """Entries dropped at the switch."""
+        return self._pruned.value
 
     @property
     def forwarded(self) -> int:
-        """Packets passed through to the master."""
-        return self.processed - self.pruned
+        """Packets passed through to the master (derived)."""
+        return self._processed.value - self._pruned.value
 
     @property
     def pruning_rate(self) -> float:
         """Fraction of processed entries pruned (0 when nothing processed)."""
-        if self.processed == 0:
-            return 0.0
-        return self.pruned / self.processed
+        return ratio(self._pruned.value, self._processed.value)
 
     def record(self, decision: PruneDecision) -> None:
         """Account one decision."""
-        self.processed += 1
+        self._processed.inc()
         if decision is PruneDecision.PRUNE:
-            self.pruned += 1
+            self._pruned.inc()
 
     def record_batch(self, processed: int, pruned: int) -> None:
         """Account a whole batch of decisions at once."""
-        self.processed += processed
-        self.pruned += pruned
+        self._processed.inc(processed)
+        self._pruned.inc(pruned)
+
+    def reset(self) -> None:
+        """Zero both counters in place."""
+        self._processed.zero()
+        self._pruned.zero()
+
+    def __repr__(self) -> str:
+        return (
+            f"PruneStats(processed={self.processed}, pruned={self.pruned})"
+        )
 
 
 class Pruner(ABC, Generic[Entry]):
-    """Base class for all switch pruning algorithms."""
+    """Base class for all switch pruning algorithms.
+
+    Every pruner owns a :class:`~repro.obs.MetricsRegistry` (``metrics``)
+    that its decision counters and sketch-health gauges report into; the
+    cluster absorbs it into the per-run registry after a run.
+
+    ``reset()`` is final: it always clears the registry and the decision
+    counters, then calls the :meth:`_reset_state` hook.  Subclasses
+    implement ``_reset_state`` for their own dataplane state — attempting
+    to override ``reset`` itself raises ``TypeError`` at class-definition
+    time, so a subclass can never silently skip the stats reset.
+    """
 
     #: Guarantee class; overridden by probabilistic variants.
     guarantee: Guarantee = Guarantee.DETERMINISTIC
 
-    def __init__(self) -> None:
-        self.stats = PruneStats()
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.stats = PruneStats(self.metrics, pruner=type(self).__name__)
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        """Reject subclasses that try to override the final ``reset``."""
+        super().__init_subclass__(**kwargs)
+        if "reset" in cls.__dict__:
+            raise TypeError(
+                f"{cls.__name__} must not override Pruner.reset(); "
+                "implement _reset_state() instead so stats/registry reset "
+                "cannot be skipped"
+            )
 
     @abstractmethod
     def process(self, entry: Entry) -> PruneDecision:
@@ -143,8 +206,37 @@ class Pruner(ABC, Generic[Entry]):
         """Hardware resources this configuration consumes (Table 2)."""
 
     def reset(self) -> None:
-        """Clear all dataplane state (new query / switch reboot)."""
-        self.stats = PruneStats()
+        """Clear all dataplane state (new query / switch reboot).
+
+        Final: zeroes the metrics registry (decision counters included,
+        in place, so held ``stats`` views stay valid) and then delegates
+        pruner-specific state to :meth:`_reset_state`.
+        """
+        self.metrics.reset()
+        self.stats.reset()
+        self._reset_state()
+
+    def _reset_state(self) -> None:
+        """Hook: clear subclass-specific dataplane state (sketches, slots)."""
+
+    def observe_health(self) -> None:
+        """Hook: refresh sketch-health gauges on :attr:`metrics`.
+
+        Idempotent; called by the cluster just before it absorbs the
+        pruner's registry into the run report.  The base implementation
+        does nothing — pruners backed by sketches override it.
+        """
+
+    def with_metrics(self, registry: MetricsRegistry) -> "Pruner[Entry]":
+        """Rebind this pruner's samples onto ``registry`` and return self.
+
+        Used to point a pruner at a shared registry — or at
+        :func:`~repro.obs.null_registry` to switch instrumentation off
+        when measuring its overhead.
+        """
+        self.metrics = registry
+        self.stats = PruneStats(registry, pruner=type(self).__name__)
+        return self
 
     def validate(self, model: ResourceModel = TOFINO) -> None:
         """Raise ``ResourceError`` when this pruner does not fit ``model``."""

@@ -94,9 +94,12 @@ class DistinctPruner(Pruner[Hashable]):
             cols=self.cols, rows=self.rows, policy=self.policy, model=self._model
         )
 
-    def reset(self) -> None:
-        super().reset()
+    def _reset_state(self) -> None:
         self._matrix.clear()
+
+    def observe_health(self) -> None:
+        """Publish cache-matrix occupancy and hit/eviction pressure."""
+        self._matrix.observe_health(self.metrics, pruner=type(self).__name__)
 
 
 class FingerprintDistinctPruner(Pruner[Sequence[Hashable]]):
@@ -191,9 +194,12 @@ class FingerprintDistinctPruner(Pruner[Sequence[Hashable]]):
             value_bits=self.scheme.bits,
         )
 
-    def reset(self) -> None:
-        super().reset()
+    def _reset_state(self) -> None:
         self._matrix.clear()
+
+    def observe_health(self) -> None:
+        """Publish cache-matrix occupancy and hit/eviction pressure."""
+        self._matrix.observe_health(self.metrics, pruner=type(self).__name__)
 
 
 def master_distinct(survivors: Sequence[Hashable]) -> list:

@@ -437,5 +437,10 @@ class FilterPruner(Pruner[Entry]):
     def footprint(self) -> ResourceFootprint:
         return footprint_filtering(predicates=self._num_predicates)
 
-    def reset(self) -> None:
-        super().reset()
+    def observe_health(self) -> None:
+        """Publish the relaxed formula's switch-evaluated predicate count."""
+        self.metrics.gauge(
+            "filter_switch_predicates",
+            "Predicates the switch evaluates for the relaxed formula.",
+            pruner=type(self).__name__,
+        ).set(self._num_predicates)

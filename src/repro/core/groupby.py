@@ -100,9 +100,12 @@ class GroupByPruner(Pruner[Tuple[Hashable, float]]):
     def footprint(self) -> ResourceFootprint:
         return footprint_groupby(cols=self.cols, rows=self.rows)
 
-    def reset(self) -> None:
-        super().reset()
+    def _reset_state(self) -> None:
         self._matrix.clear()
+
+    def observe_health(self) -> None:
+        """Publish keyed-aggregate matrix occupancy and hit pressure."""
+        self._matrix.observe_health(self.metrics, pruner=type(self).__name__)
 
 
 def master_groupby(

@@ -169,12 +169,19 @@ class HavingPruner(Pruner[Tuple[Hashable, float]]):
             )
         return fp
 
-    def reset(self) -> None:
-        super().reset()
+    def _reset_state(self) -> None:
         if self._sketch is not None:
             self._sketch.clear()
         if self._dedupe is not None:
             self._dedupe.clear()
+
+    def observe_health(self) -> None:
+        """Publish Count-Min occupancy and dedupe cache pressure."""
+        name = type(self).__name__
+        if self._sketch is not None:
+            self._sketch.observe_health(self.metrics, pruner=name)
+        if self._dedupe is not None:
+            self._dedupe.observe_health(self.metrics, pruner=name, role="dedupe")
 
 
 def master_having(

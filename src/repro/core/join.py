@@ -183,11 +183,17 @@ class JoinPruner(Pruner[SideKey]):
             memory_bits=self.memory_bits, hashes=self.hashes, variant=self.variant
         )
 
-    def reset(self) -> None:
-        super().reset()
+    def _reset_state(self) -> None:
         for f in self._filters.values():
             f.clear()
         self._built = False
+
+    def observe_health(self) -> None:
+        """Publish both build filters' fill ratios and FP estimates."""
+        for side, bloom in self._filters.items():
+            bloom.observe_health(
+                self.metrics, pruner=type(self).__name__, side=side
+            )
 
 
 class AsymmetricJoinPruner(Pruner[Hashable]):
@@ -253,10 +259,13 @@ class AsymmetricJoinPruner(Pruner[Hashable]):
             memory_bits=self.memory_bits, hashes=self.hashes, variant=self.variant
         )
 
-    def reset(self) -> None:
-        super().reset()
+    def _reset_state(self) -> None:
         self._filter.clear()
         self._built = False
+
+    def observe_health(self) -> None:
+        """Publish the small-table filter's fill ratio and FP estimate."""
+        self._filter.observe_health(self.metrics, pruner=type(self).__name__)
 
 
 def master_join(
@@ -374,9 +383,15 @@ class OuterJoinPruner(Pruner[SideKey]):
     def footprint(self) -> ResourceFootprint:
         return self._inner.footprint()
 
-    def reset(self) -> None:
-        super().reset()
+    def _reset_state(self) -> None:
         self._inner.reset()
+
+    def observe_health(self) -> None:
+        """Publish the wrapped join pruner's filter health (idempotent)."""
+        for side, bloom in self._inner._filters.items():
+            bloom.observe_health(
+                self.metrics, pruner=type(self).__name__, side=side
+            )
 
 
 def master_outer_join(

@@ -247,11 +247,24 @@ class SkylinePruner(Pruner[Point]):
         score = "aph" if self.score_name == "aph" else "sum"
         return footprint_skyline(dims=self.dims, points=self.num_points, score=score)
 
-    def reset(self) -> None:
-        super().reset()
+    def _reset_state(self) -> None:
         self._slots = [None] * self.num_points
         self._last_carried = None
         self.last_batch_carried = []
+
+    def observe_health(self) -> None:
+        """Publish how many of the ``w`` point slots are occupied."""
+        occupied = sum(1 for slot in self._slots if slot is not None)
+        self.metrics.gauge(
+            "skyline_slots_occupied",
+            "Stored candidate points.",
+            pruner=type(self).__name__,
+        ).set(occupied)
+        self.metrics.gauge(
+            "skyline_slots_fill_ratio",
+            "Occupied fraction of the w slots.",
+            pruner=type(self).__name__,
+        ).set(occupied / self.num_points)
 
 
 def master_skyline(points: Sequence[Point]) -> List[Point]:
@@ -380,10 +393,23 @@ class DirectionalSkylinePruner(Pruner[Point]):
     def footprint(self) -> ResourceFootprint:
         return self._inner.footprint()
 
-    def reset(self) -> None:
-        super().reset()
+    def _reset_state(self) -> None:
         self._inner.reset()
         self.last_batch_carried = []
+
+    def observe_health(self) -> None:
+        """Publish the wrapped skyline pruner's slot occupancy (idempotent)."""
+        occupied = sum(1 for slot in self._inner._slots if slot is not None)
+        self.metrics.gauge(
+            "skyline_slots_occupied",
+            "Stored candidate points.",
+            pruner=type(self).__name__,
+        ).set(occupied)
+        self.metrics.gauge(
+            "skyline_slots_fill_ratio",
+            "Occupied fraction of the w slots.",
+            pruner=type(self).__name__,
+        ).set(occupied / self._inner.num_points)
 
 
 def master_directional_skyline(

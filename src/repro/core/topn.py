@@ -150,12 +150,24 @@ class TopNDeterministicPruner(Pruner[float]):
     def footprint(self) -> ResourceFootprint:
         return footprint_topn_det(thresholds=self.num_thresholds)
 
-    def reset(self) -> None:
-        super().reset()
+    def _reset_state(self) -> None:
         self._warmup_seen = 0
         self._warmup_min = None
         self._thresholds = []
         self._counters = []
+
+    def observe_health(self) -> None:
+        """Publish the warmup progress and active threshold count."""
+        self.metrics.gauge(
+            "topn_warmup_seen",
+            "Entries consumed during warmup.",
+            pruner=type(self).__name__,
+        ).set(self._warmup_seen)
+        self.metrics.gauge(
+            "topn_thresholds",
+            "Thresholds currently tracked.",
+            pruner=type(self).__name__,
+        ).set(len(self._thresholds))
 
 
 class TopNRandomizedPruner(Pruner[float]):
@@ -244,9 +256,12 @@ class TopNRandomizedPruner(Pruner[float]):
     def footprint(self) -> ResourceFootprint:
         return footprint_topn_rand(cols=self.cols, rows=self.rows)
 
-    def reset(self) -> None:
-        super().reset()
+    def _reset_state(self) -> None:
         self._matrix.clear()
+
+    def observe_health(self) -> None:
+        """Publish rolling-minimum matrix occupancy and offer pressure."""
+        self._matrix.observe_health(self.metrics, pruner=type(self).__name__)
 
 
 def master_topn(survivors: Sequence[float], n: int) -> List[float]:

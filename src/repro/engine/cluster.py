@@ -32,6 +32,7 @@ from ..core.join import JoinPruner
 from ..core.skyline import SkylinePruner, master_skyline
 from ..core.topn import TopNDeterministicPruner, TopNRandomizedPruner, master_topn
 from ..errors import ConfigurationError, PlanError
+from ..obs import MetricsRegistry, ratio
 from ..switch.resources import ResourceModel, TOFINO
 from .plan import (
     CountOp,
@@ -72,6 +73,9 @@ class RunResult:
     used_cheetah: bool
     workers: int
     op_kind: str = "filter"
+    #: Per-run metrics registry (phase spans, per-worker volumes, and the
+    #: absorbed pruner counters/gauges); None for hand-built results.
+    metrics: Optional[MetricsRegistry] = None
 
     @property
     def total_streamed(self) -> int:
@@ -86,9 +90,45 @@ class RunResult:
     @property
     def pruning_rate(self) -> float:
         """Overall fraction of streamed entries pruned."""
-        if self.total_streamed == 0:
-            return 0.0
-        return 1.0 - self.total_forwarded / self.total_streamed
+        return ratio(self.total_streamed - self.total_forwarded, self.total_streamed)
+
+    def report(self) -> dict:
+        """Structured, JSON-ready run report.
+
+        Joins each phase's traffic volumes with its wall-time (spans are
+        recorded under the phase's name) and embeds the full metrics dump
+        — the shape the CLI's ``--metrics-out`` writes and the ``metrics``
+        subcommand pretty-prints.
+        """
+        seconds_by_name: Dict[str, float] = {}
+        if self.metrics is not None:
+            for span in self.metrics.spans:
+                seconds_by_name[span.name] = (
+                    seconds_by_name.get(span.name, 0.0) + span.seconds
+                )
+        return {
+            "query": self.query,
+            "op_kind": self.op_kind,
+            "used_cheetah": self.used_cheetah,
+            "workers": self.workers,
+            "totals": {
+                "streamed": self.total_streamed,
+                "forwarded": self.total_forwarded,
+                "pruned": self.total_streamed - self.total_forwarded,
+                "pruning_rate": self.pruning_rate,
+            },
+            "phases": [
+                {
+                    "name": phase.name,
+                    "streamed": phase.streamed,
+                    "forwarded": phase.forwarded,
+                    "pruned": phase.pruned,
+                    "seconds": seconds_by_name.get(phase.name),
+                }
+                for phase in self.phases
+            ],
+            "metrics": self.metrics.to_dict() if self.metrics is not None else {},
+        }
 
 
 @dataclass
@@ -97,6 +137,9 @@ class PackedRunResult:
 
     results: List[RunResult]
     phase: PhaseVolume
+    #: Registry of the shared streaming pass (per-query pruner counters
+    #: live on each result's own ``metrics`` — per-query isolation).
+    metrics: Optional[MetricsRegistry] = None
 
     @property
     def total_streamed(self) -> int:
@@ -111,9 +154,7 @@ class PackedRunResult:
     @property
     def pruning_rate(self) -> float:
         """Fraction of the shared stream pruned for every query."""
-        if self.phase.streamed == 0:
-            return 0.0
-        return 1.0 - self.phase.forwarded / self.phase.streamed
+        return ratio(self.phase.streamed - self.phase.forwarded, self.phase.streamed)
 
 
 @dataclass
@@ -236,24 +277,46 @@ class Cluster:
             from ..switch.compiler import pack
 
             pack([p.footprint() for p in pruners], self.config.model)
+        shared = MetricsRegistry()
         phase = PhaseVolume("packed-stream")
         per_query: List[List[Tuple[int, Tuple]]] = [[] for _ in queries]
         row_base = 0
-        for part in self._partitions(table):
-            for offset, payload in enumerate(part.iter_rows(columns)):
-                phase.streamed += 1
-                any_forward = False
-                for i, (query, pruner) in enumerate(zip(queries, pruners)):
-                    entry = self._payload_to_entry(query.operator, columns, payload)
-                    if pruner.process(entry) is PruneDecision.FORWARD:
-                        any_forward = True
-                        per_query[i].append((row_base + offset, payload))
-                if any_forward:
-                    phase.forwarded += 1
-            row_base += part.num_rows
+        with shared.trace("partition"):
+            parts = self._partitions(table)
+        with shared.trace("packed-stream"):
+            for worker, part in enumerate(parts):
+                streamed_before = phase.streamed
+                forwarded_before = phase.forwarded
+                for offset, payload in enumerate(part.iter_rows(columns)):
+                    phase.streamed += 1
+                    any_forward = False
+                    for i, (query, pruner) in enumerate(zip(queries, pruners)):
+                        entry = self._payload_to_entry(
+                            query.operator, columns, payload
+                        )
+                        if pruner.process(entry) is PruneDecision.FORWARD:
+                            any_forward = True
+                            per_query[i].append((row_base + offset, payload))
+                    if any_forward:
+                        phase.forwarded += 1
+                _record_worker_volume(
+                    shared,
+                    phase.name,
+                    worker,
+                    phase.streamed - streamed_before,
+                    phase.forwarded - forwarded_before,
+                )
+                row_base += part.num_rows
+        _record_phase(shared, phase)
         results = []
         for query, pruner, survivors in zip(queries, pruners, per_query):
-            output = self._complete_single_pass(query, columns, survivors, pruner)
+            # Per-query isolation: each result carries a registry holding
+            # only its own pruner's counters and completion span.
+            registry = MetricsRegistry()
+            kind = _op_kind(query.operator)
+            with registry.trace("master-complete"):
+                output = self._complete_single_pass(query, columns, survivors, pruner)
+            _absorb_pruner(registry, pruner, query=kind, role="primary")
             results.append(
                 RunResult(
                     query=query.describe(),
@@ -261,10 +324,11 @@ class Cluster:
                     phases=[phase],
                     used_cheetah=True,
                     workers=self.workers,
-                    op_kind=_op_kind(query.operator),
+                    op_kind=kind,
+                    metrics=registry,
                 )
             )
-        return PackedRunResult(results=results, phase=phase)
+        return PackedRunResult(results=results, phase=phase, metrics=shared)
 
     # -- shared plumbing -------------------------------------------------------
 
@@ -274,6 +338,26 @@ class Cluster:
 
     def _partitions(self, table: Table) -> List[Table]:
         return table.partition(self.workers)
+
+    def _record_worker_shares(
+        self, registry: MetricsRegistry, phase: str, total: int
+    ) -> None:
+        """Per-worker streamed attribution for unpartitioned streams.
+
+        The multi-pass operators (JOIN, HAVING, SKYLINE) drive whole
+        column arrays rather than explicit per-worker partitions; their
+        traffic is attributed to workers by the same even split
+        ``Table.partition`` uses, so per-worker volumes stay comparable
+        across operator kinds (and identical between scalar and batch).
+        """
+        base, extra = divmod(total, self.workers)
+        for worker in range(self.workers):
+            registry.counter(
+                "worker_entries_streamed_total",
+                "Entries streamed by each worker per phase.",
+                worker=worker,
+                phase=phase,
+            ).inc(base + (1 if worker < extra else 0))
 
     def _where_columns(self, query: Query) -> List[str]:
         return query.where.columns() if query.where is not None else []
@@ -374,6 +458,7 @@ class Cluster:
         op = query.operator
         table = tables[op.table]
         columns = query.stream_columns()
+        registry = MetricsRegistry()
         pruner: Pruner = (
             self._build_pruner(query, tables) if use_cheetah else PassthroughPruner()
         )
@@ -385,36 +470,55 @@ class Cluster:
         survivors: List[Tuple[int, Tuple]] = []  # (row_id, payload)
         row_base = 0
         batch_size = self.config.batch_size
-        for part in self._partitions(table):
-            if batch_size is not None:
-                self._stream_partition_batched(
-                    op, part, columns, pruner, where_pruner, phase,
-                    survivors, row_base, batch_size,
+        with registry.trace("partition"):
+            parts = self._partitions(table)
+        with registry.trace("stream"):
+            for worker, part in enumerate(parts):
+                streamed_before = phase.streamed
+                forwarded_before = phase.forwarded
+                if batch_size is not None:
+                    self._stream_partition_batched(
+                        op, part, columns, pruner, where_pruner, phase,
+                        survivors, row_base, batch_size,
+                    )
+                else:
+                    for offset, payload in enumerate(part.iter_rows(columns)):
+                        phase.streamed += 1
+                        # The packed filter stage (§6) runs first, so
+                        # WHERE-violating rows never pollute the stateful
+                        # operator's caches.
+                        if (
+                            where_pruner is not None
+                            and where_pruner.process(payload) is PruneDecision.PRUNE
+                        ):
+                            continue
+                        entry = self._payload_to_entry(op, columns, payload)
+                        if pruner.process(entry) is PruneDecision.FORWARD:
+                            phase.forwarded += 1
+                            survivors.append((row_base + offset, payload))
+                _record_worker_volume(
+                    registry,
+                    phase.name,
+                    worker,
+                    phase.streamed - streamed_before,
+                    phase.forwarded - forwarded_before,
                 )
-            else:
-                for offset, payload in enumerate(part.iter_rows(columns)):
-                    phase.streamed += 1
-                    # The packed filter stage (§6) runs first, so
-                    # WHERE-violating rows never pollute the stateful
-                    # operator's caches.
-                    if (
-                        where_pruner is not None
-                        and where_pruner.process(payload) is PruneDecision.PRUNE
-                    ):
-                        continue
-                    entry = self._payload_to_entry(op, columns, payload)
-                    if pruner.process(entry) is PruneDecision.FORWARD:
-                        phase.forwarded += 1
-                        survivors.append((row_base + offset, payload))
-            row_base += part.num_rows
-        output = self._complete_single_pass(query, columns, survivors, pruner)
+                row_base += part.num_rows
+        with registry.trace("master-complete"):
+            output = self._complete_single_pass(query, columns, survivors, pruner)
+        _record_phase(registry, phase)
+        kind = _op_kind(op)
+        _absorb_pruner(registry, pruner, query=kind, role="primary")
+        if where_pruner is not None:
+            _absorb_pruner(registry, where_pruner, query=kind, role="where")
         return RunResult(
             query=query.describe(),
             output=output,
             phases=[phase],
             used_cheetah=use_cheetah,
             workers=self.workers,
-            op_kind=_op_kind(op),
+            op_kind=kind,
+            metrics=registry,
         )
 
     def _stream_partition_batched(
@@ -563,6 +667,7 @@ class Cluster:
         left_keys = left_col.tolist()
         right_keys = right_col.tolist()
         batch_size = self.config.batch_size
+        registry = MetricsRegistry()
         phases = []
         if use_cheetah:
             pruner = JoinPruner(
@@ -575,38 +680,48 @@ class Cluster:
             )
             self._maybe_validate(pruner)
             build = PhaseVolume("join-build", streamed=len(left_keys) + len(right_keys))
-            if batch_size is not None:
-                pruner.build(left_col, right_col)
-            else:
-                pruner.build(left_keys, right_keys)
+            with registry.trace("join-build"):
+                if batch_size is not None:
+                    pruner.build(left_col, right_col)
+                else:
+                    pruner.build(left_keys, right_keys)
             phases.append(build)
             probe = PhaseVolume("join-probe")
             left_survivors: List = []
             right_survivors: List = []
-            if batch_size is not None:
-                # Pass 2, batched: each side probes as column chunks.
-                for side, keys_array, side_survivors in (
-                    (op.table, left_col, left_survivors),
-                    (op.right_table, right_col, right_survivors),
-                ):
-                    for lo in range(0, len(keys_array), batch_size):
-                        chunk = keys_array[lo : lo + batch_size]
-                        forward = pruner.process_batch((side, chunk))
-                        probe.streamed += len(chunk)
-                        probe.forwarded += int(forward.sum())
-                        side_survivors.extend(chunk[forward].tolist())
-            else:
-                for key in left_keys:
-                    probe.streamed += 1
-                    if pruner.process((op.table, key)) is PruneDecision.FORWARD:
-                        probe.forwarded += 1
-                        left_survivors.append(key)
-                for key in right_keys:
-                    probe.streamed += 1
-                    if pruner.process((op.right_table, key)) is PruneDecision.FORWARD:
-                        probe.forwarded += 1
-                        right_survivors.append(key)
+            with registry.trace("join-probe"):
+                if batch_size is not None:
+                    # Pass 2, batched: each side probes as column chunks.
+                    for side, keys_array, side_survivors in (
+                        (op.table, left_col, left_survivors),
+                        (op.right_table, right_col, right_survivors),
+                    ):
+                        for lo in range(0, len(keys_array), batch_size):
+                            chunk = keys_array[lo : lo + batch_size]
+                            forward = pruner.process_batch((side, chunk))
+                            probe.streamed += len(chunk)
+                            probe.forwarded += int(forward.sum())
+                            side_survivors.extend(chunk[forward].tolist())
+                else:
+                    for key in left_keys:
+                        probe.streamed += 1
+                        if pruner.process((op.table, key)) is PruneDecision.FORWARD:
+                            probe.forwarded += 1
+                            left_survivors.append(key)
+                    for key in right_keys:
+                        probe.streamed += 1
+                        if (
+                            pruner.process((op.right_table, key))
+                            is PruneDecision.FORWARD
+                        ):
+                            probe.forwarded += 1
+                            right_survivors.append(key)
             phases.append(probe)
+            for phase in (build, probe):
+                self._record_worker_shares(
+                    registry, phase.name, len(left_keys) + len(right_keys)
+                )
+            _absorb_pruner(registry, pruner, query=_op_kind(op), role="primary")
         else:
             stream = PhaseVolume(
                 "join-stream",
@@ -614,16 +729,22 @@ class Cluster:
                 forwarded=len(left_keys) + len(right_keys),
             )
             phases.append(stream)
+            self._record_worker_shares(
+                registry, stream.name, len(left_keys) + len(right_keys)
+            )
             left_survivors, right_survivors = left_keys, right_keys
-        left_counts = Counter(left_survivors)
-        right_counts = Counter(right_survivors)
-        output = Counter(
-            {
-                key: left_counts[key] * right_counts[key]
-                for key in left_counts
-                if key in right_counts
-            }
-        )
+        with registry.trace("master-complete"):
+            left_counts = Counter(left_survivors)
+            right_counts = Counter(right_survivors)
+            output = Counter(
+                {
+                    key: left_counts[key] * right_counts[key]
+                    for key in left_counts
+                    if key in right_counts
+                }
+            )
+        for phase in phases:
+            _record_phase(registry, phase)
         return RunResult(
             query=query.describe(),
             output=output,
@@ -631,6 +752,7 @@ class Cluster:
             used_cheetah=use_cheetah,
             workers=self.workers,
             op_kind=_op_kind(op),
+            metrics=registry,
         )
 
     # -- HAVING: sketch pass + partial second pass --------------------------------
@@ -649,6 +771,7 @@ class Cluster:
         values = values_col.tolist()
         data = list(zip(keys, values))
         batch_size = self.config.batch_size
+        registry = MetricsRegistry()
         phases = []
         if use_cheetah:
             pruner = HavingPruner(
@@ -661,37 +784,49 @@ class Cluster:
             self._maybe_validate(pruner)
             sketch_pass = PhaseVolume("having-sketch")
             candidates: Set = set()
-            if batch_size is not None:
-                for lo in range(0, len(keys_col), batch_size):
-                    key_chunk = keys_col[lo : lo + batch_size]
-                    value_chunk = values_col[lo : lo + batch_size]
-                    forward = pruner.process_batch((key_chunk, value_chunk))
-                    sketch_pass.streamed += len(key_chunk)
-                    sketch_pass.forwarded += int(forward.sum())
-                    candidates.update(key_chunk[forward].tolist())
-            else:
-                for entry in data:
-                    sketch_pass.streamed += 1
-                    if pruner.process(entry) is PruneDecision.FORWARD:
-                        sketch_pass.forwarded += 1
-                        candidates.add(entry[0])
+            with registry.trace("having-sketch"):
+                if batch_size is not None:
+                    for lo in range(0, len(keys_col), batch_size):
+                        key_chunk = keys_col[lo : lo + batch_size]
+                        value_chunk = values_col[lo : lo + batch_size]
+                        forward = pruner.process_batch((key_chunk, value_chunk))
+                        sketch_pass.streamed += len(key_chunk)
+                        sketch_pass.forwarded += int(forward.sum())
+                        candidates.update(key_chunk[forward].tolist())
+                else:
+                    for entry in data:
+                        sketch_pass.streamed += 1
+                        if pruner.process(entry) is PruneDecision.FORWARD:
+                            sketch_pass.forwarded += 1
+                            candidates.add(entry[0])
             phases.append(sketch_pass)
             # Partial second pass: only entries of candidate keys re-stream.
             second = PhaseVolume("having-refetch")
-            second.streamed = sum(1 for key, _ in data if key in candidates)
-            second.forwarded = second.streamed
+            with registry.trace("having-refetch"):
+                second.streamed = sum(1 for key, _ in data if key in candidates)
+                second.forwarded = second.streamed
             phases.append(second)
-            output = set(
-                master_having(candidates, data, op.threshold, op.aggregate)
-            )
+            self._record_worker_shares(registry, sketch_pass.name, len(data))
+            self._record_worker_shares(registry, second.name, second.streamed)
+            with registry.trace("master-complete"):
+                output = set(
+                    master_having(candidates, data, op.threshold, op.aggregate)
+                )
+            _absorb_pruner(registry, pruner, query=_op_kind(op), role="primary")
         else:
             stream = PhaseVolume(
                 "having-stream", streamed=len(data), forwarded=len(data)
             )
             phases.append(stream)
-            output = set(
-                master_having((key for key, _ in data), data, op.threshold, op.aggregate)
-            )
+            self._record_worker_shares(registry, stream.name, len(data))
+            with registry.trace("master-complete"):
+                output = set(
+                    master_having(
+                        (key for key, _ in data), data, op.threshold, op.aggregate
+                    )
+                )
+        for phase in phases:
+            _record_phase(registry, phase)
         return RunResult(
             query=query.describe(),
             output=output,
@@ -699,6 +834,7 @@ class Cluster:
             used_cheetah=use_cheetah,
             workers=self.workers,
             op_kind=_op_kind(op),
+            metrics=registry,
         )
 
     # -- SKYLINE: stream + drain -------------------------------------------------
@@ -718,6 +854,8 @@ class Cluster:
         phase = PhaseVolume("skyline-stream")
         received: List[Tuple[float, ...]] = []
         batch_size = self.config.batch_size
+        registry = MetricsRegistry()
+        pruner = None
         if use_cheetah:
             pruner = SkylinePruner(
                 dims=len(columns),
@@ -725,35 +863,41 @@ class Cluster:
                 score=self.config.skyline_score,
             )
             self._maybe_validate(pruner)
-            if batch_size is not None:
-                point_matrix = np.asarray(points, dtype=np.float64).reshape(
-                    -1, len(columns)
-                )
-                for lo in range(0, len(point_matrix), batch_size):
-                    chunk = point_matrix[lo : lo + batch_size]
-                    forward = pruner.process_batch(chunk)
-                    phase.streamed += len(chunk)
-                    phase.forwarded += int(forward.sum())
-                    for k in np.flatnonzero(forward):
-                        carried = pruner.last_batch_carried[k]
-                        assert carried is not None
-                        received.append(tuple(float(v) for v in carried))
-            else:
-                for point in points:
-                    phase.streamed += 1
-                    if pruner.process(point) is PruneDecision.FORWARD:
-                        phase.forwarded += 1
-                        carried = pruner.last_carried
-                        assert carried is not None
-                        received.append(carried)
-            drained = pruner.drain()
-            received.extend(drained)
-            phase.forwarded += len(drained)
+            with registry.trace("skyline-stream"):
+                if batch_size is not None:
+                    point_matrix = np.asarray(points, dtype=np.float64).reshape(
+                        -1, len(columns)
+                    )
+                    for lo in range(0, len(point_matrix), batch_size):
+                        chunk = point_matrix[lo : lo + batch_size]
+                        forward = pruner.process_batch(chunk)
+                        phase.streamed += len(chunk)
+                        phase.forwarded += int(forward.sum())
+                        for k in np.flatnonzero(forward):
+                            carried = pruner.last_batch_carried[k]
+                            assert carried is not None
+                            received.append(tuple(float(v) for v in carried))
+                else:
+                    for point in points:
+                        phase.streamed += 1
+                        if pruner.process(point) is PruneDecision.FORWARD:
+                            phase.forwarded += 1
+                            carried = pruner.last_carried
+                            assert carried is not None
+                            received.append(carried)
+                drained = pruner.drain()
+                received.extend(drained)
+                phase.forwarded += len(drained)
         else:
             phase.streamed = len(points)
             phase.forwarded = len(points)
             received = points
-        output = set(master_skyline(received))
+        self._record_worker_shares(registry, phase.name, len(points))
+        with registry.trace("master-complete"):
+            output = set(master_skyline(received))
+        _record_phase(registry, phase)
+        if pruner is not None:
+            _absorb_pruner(registry, pruner, query=_op_kind(op), role="primary")
         return RunResult(
             query=query.describe(),
             output=output,
@@ -761,7 +905,52 @@ class Cluster:
             used_cheetah=use_cheetah,
             workers=self.workers,
             op_kind=_op_kind(op),
+            metrics=registry,
         )
+
+
+def _record_worker_volume(
+    registry: MetricsRegistry,
+    phase: str,
+    worker: int,
+    streamed: int,
+    forwarded: int,
+) -> None:
+    """Account one worker's share of a phase's traffic."""
+    registry.counter(
+        "worker_entries_streamed_total",
+        "Entries streamed by each worker per phase.",
+        worker=worker,
+        phase=phase,
+    ).inc(streamed)
+    registry.counter(
+        "worker_entries_forwarded_total",
+        "Entries forwarded by each worker per phase.",
+        worker=worker,
+        phase=phase,
+    ).inc(forwarded)
+
+
+def _record_phase(registry: MetricsRegistry, phase: PhaseVolume) -> None:
+    """Mirror a phase's final traffic volumes into registry counters."""
+    registry.counter(
+        "phase_entries_streamed_total",
+        "Entries streamed in each phase.",
+        phase=phase.name,
+    ).inc(phase.streamed)
+    registry.counter(
+        "phase_entries_forwarded_total",
+        "Entries forwarded in each phase.",
+        phase=phase.name,
+    ).inc(phase.forwarded)
+
+
+def _absorb_pruner(
+    registry: MetricsRegistry, pruner: Pruner, **labels: object
+) -> None:
+    """Refresh a pruner's health gauges, then fold its registry in."""
+    pruner.observe_health()
+    registry.absorb(pruner.metrics, **labels)
 
 
 def _op_kind(op) -> str:

@@ -1,0 +1,36 @@
+"""Dependency-free observability: metrics registry, tracing, exporters.
+
+The subsystem the rest of the reproduction reports into:
+
+* :class:`MetricsRegistry` — labeled counters, gauges, and fixed-bucket
+  histograms, with JSON (:meth:`MetricsRegistry.to_dict`) and Prometheus
+  text (:meth:`MetricsRegistry.to_prometheus`) exporters;
+* :class:`Span` / :func:`trace` — monotonic per-phase timings;
+* :func:`ratio` — the shared pruning-rate helper (0.0 on empty input);
+* :func:`null_registry` — a disabled registry whose samples are no-ops,
+  used to measure the overhead of the instrumentation itself.
+"""
+
+from .registry import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    null_registry,
+    ratio,
+)
+from .tracing import SPAN_BUCKETS, Span, trace
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "null_registry",
+    "ratio",
+    "SPAN_BUCKETS",
+    "Span",
+    "trace",
+]

@@ -1,0 +1,76 @@
+"""Per-phase tracing: :class:`Span` records and the :func:`trace` manager.
+
+A span is a named, labeled interval measured with the monotonic
+``time.perf_counter()`` clock — wall-time that cannot go backwards when
+the system clock is adjusted.  The cluster wraps each run phase
+(partitioning, the switch pass, master completion) in a span; finished
+spans accumulate on the owning :class:`~repro.obs.registry.MetricsRegistry`
+and are additionally observed into a ``span_seconds`` histogram labeled
+by span name, so duration distributions survive the Prometheus export.
+
+Timings are *representation-dependent* (a batch run is faster than a
+scalar one), so spans and histograms are deliberately excluded from the
+scalar-vs-batch counter-equality contract.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+#: Histogram buckets for span durations (seconds).
+SPAN_BUCKETS = (0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0)
+
+
+@dataclass
+class Span:
+    """One finished timed interval."""
+
+    name: str
+    seconds: float
+    labels: Dict[str, str] = field(default_factory=dict)
+
+    def relabel(self, **extra_labels: object) -> "Span":
+        """A copy of this span with ``extra_labels`` merged in."""
+        labels = dict(self.labels)
+        labels.update({str(k): str(v) for k, v in extra_labels.items()})
+        return Span(self.name, self.seconds, labels)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form."""
+        return {"name": self.name, "seconds": self.seconds, "labels": dict(self.labels)}
+
+    @classmethod
+    def from_dict(cls, dump: dict) -> "Span":
+        """Rebuild a span from :meth:`to_dict` output."""
+        return cls(
+            dump["name"],
+            float(dump["seconds"]),
+            {str(k): str(v) for k, v in dump.get("labels", {}).items()},
+        )
+
+
+@contextmanager
+def trace(registry, name: str, **labels: object) -> Iterator[Span]:
+    """Time the enclosed block as a span on ``registry``.
+
+    The span is recorded even when the block raises, so failed phases
+    still show up in the report.  On a disabled registry the span object
+    is yielded (callers may inspect it) but nothing is recorded.
+    """
+    span = Span(name, 0.0, {str(k): str(v) for k, v in labels.items()})
+    start = time.perf_counter()
+    try:
+        yield span
+    finally:
+        span.seconds = time.perf_counter() - start
+        if registry.enabled:
+            registry.spans.append(span)
+            registry.histogram(
+                "span_seconds",
+                "Distribution of span durations by span name.",
+                buckets=SPAN_BUCKETS,
+                span=name,
+            ).observe(span.seconds)

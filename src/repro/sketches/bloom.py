@@ -129,13 +129,29 @@ class BloomFilter:
 
     def fill_ratio(self) -> float:
         """Fraction of set bits, an observable FP-rate proxy."""
-        set_bits = sum(bin(b).count("1") for b in self._words)
+        set_bits = int(
+            np.unpackbits(np.frombuffer(self._words, dtype=np.uint8)).sum()
+        )
         return set_bits / self.size_bits
 
     def false_positive_rate(self) -> float:
         """Theoretical FP rate ``(1 - e^{-hn/m})^h`` for current load."""
         exponent = -self.hashes * self._inserted / self.size_bits
         return (1.0 - math.exp(exponent)) ** self.hashes
+
+    def observe_health(self, registry, **labels: object) -> None:
+        """Publish fill ratio, inserted count, and estimated FP rate."""
+        registry.gauge(
+            "bloom_fill_ratio", "Fraction of set filter bits.", **labels
+        ).set(self.fill_ratio())
+        registry.gauge(
+            "bloom_inserted", "Values inserted (duplicates included).", **labels
+        ).set(self._inserted)
+        registry.gauge(
+            "bloom_false_positive_rate",
+            "Estimated false-positive probability at current load.",
+            **labels,
+        ).set(self.false_positive_rate())
 
     @staticmethod
     def bits_for(expected_items: int, target_fp: float) -> int:
@@ -246,5 +262,28 @@ class RegisterBloomFilter:
 
     def fill_ratio(self) -> float:
         """Fraction of set bits across all registers."""
-        set_bits = sum(bin(int(word)).count("1") for word in self._registers)
+        set_bits = int(np.unpackbits(self._registers.view(np.uint8)).sum())
         return set_bits / self.size_bits
+
+    def false_positive_rate(self) -> float:
+        """Empirical FP estimate: probability all ``h`` probed bits are set.
+
+        The blocked layout concentrates an element's bits in one word, so
+        the textbook formula under-estimates; the fill-ratio power is the
+        standard observable proxy.
+        """
+        return self.fill_ratio() ** self.hashes
+
+    def observe_health(self, registry, **labels: object) -> None:
+        """Publish fill ratio, inserted count, and estimated FP rate."""
+        registry.gauge(
+            "bloom_fill_ratio", "Fraction of set filter bits.", **labels
+        ).set(self.fill_ratio())
+        registry.gauge(
+            "bloom_inserted", "Values inserted (duplicates included).", **labels
+        ).set(self._inserted)
+        registry.gauge(
+            "bloom_false_positive_rate",
+            "Estimated false-positive probability at current load.",
+            **labels,
+        ).set(self.false_positive_rate())

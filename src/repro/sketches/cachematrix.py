@@ -67,6 +67,12 @@ class CacheMatrix:
         self.policy = policy
         self._seed = seed
         self._cells: List[List[object]] = [[_EMPTY] * cols for _ in range(rows)]
+        #: Row hits observed (value already cached).
+        self.hits = 0
+        #: Row misses observed (value installed).
+        self.misses = 0
+        #: Values evicted by rolling replacement (a miss into a full row).
+        self.evictions = 0
 
     def row_of(self, value: Hashable) -> int:
         """Deterministic row assignment (same value -> same row)."""
@@ -89,12 +95,15 @@ class CacheMatrix:
             row = self.row_of(value)
         cells = self._cells[row]
         if value in cells:
+            self.hits += 1
             if self.policy == "lru":
                 cells.remove(value)
                 cells.insert(0, value)
             return True
+        self.misses += 1
         cells.insert(0, value)
-        cells.pop()
+        if cells.pop() is not _EMPTY:
+            self.evictions += 1
         return False
 
     def row_of_batch(self, values: Sequence[Hashable]) -> np.ndarray:
@@ -128,6 +137,27 @@ class CacheMatrix:
     def clear(self) -> None:
         """Empty every row (query teardown / switch reboot)."""
         self._cells = [[_EMPTY] * self.cols for _ in range(self.rows)]
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def observe_health(self, registry, **labels: object) -> None:
+        """Publish occupancy, fill ratio, and hit/eviction totals as gauges."""
+        registry.gauge(
+            "cache_matrix_occupancy", "Cached values across all rows.", **labels
+        ).set(self.occupancy())
+        registry.gauge(
+            "cache_matrix_fill_ratio", "Occupied fraction of the d*w cells.", **labels
+        ).set(self.occupancy() / (self.rows * self.cols))
+        registry.gauge(
+            "cache_matrix_hits", "Row hits (value already cached).", **labels
+        ).set(self.hits)
+        registry.gauge(
+            "cache_matrix_misses", "Row misses (value installed).", **labels
+        ).set(self.misses)
+        registry.gauge(
+            "cache_matrix_evictions", "Values evicted by rolling replacement.", **labels
+        ).set(self.evictions)
 
     def row_values(self, row: int) -> List[object]:
         """The cached values of ``row`` in recency order (tests/inspection)."""
@@ -162,6 +192,10 @@ class RollingMinMatrix:
         self.rows = rows
         self.cols = cols
         self._cells: List[List[Optional[float]]] = [[None] * cols for _ in range(rows)]
+        #: Values offered to any row.
+        self.offers = 0
+        #: Offers rejected (value below a full row's minimum — prunable).
+        self.rejected = 0
 
     def offer(self, value: float, row: int) -> bool:
         """Push ``value`` through ``row``; return True if it was pruned.
@@ -175,9 +209,11 @@ class RollingMinMatrix:
         """
         if not 0 <= row < self.rows:
             raise ConfigurationError(f"row {row} out of range [0, {self.rows})")
+        self.offers += 1
         cells = self._cells[row]
         if cells[-1] is not None and value < cells[-1]:
             # Full row, value below its minimum: nothing to update.
+            self.rejected += 1
             return True
         kept = [c for c in cells if c is not None]
         position = 0
@@ -217,9 +253,30 @@ class RollingMinMatrix:
             return None
         return cells[-1]
 
+    def occupancy(self) -> int:
+        """Total number of stored values across all rows."""
+        return sum(1 for row in self._cells for cell in row if cell is not None)
+
     def clear(self) -> None:
         """Empty every row."""
         self._cells = [[None] * self.cols for _ in range(self.rows)]
+        self.offers = 0
+        self.rejected = 0
+
+    def observe_health(self, registry, **labels: object) -> None:
+        """Publish occupancy and offer/reject totals as gauges."""
+        registry.gauge(
+            "rolling_min_occupancy", "Stored values across all rows.", **labels
+        ).set(self.occupancy())
+        registry.gauge(
+            "rolling_min_fill_ratio", "Occupied fraction of the d*w cells.", **labels
+        ).set(self.occupancy() / (self.rows * self.cols))
+        registry.gauge(
+            "rolling_min_offers", "Values offered to any row.", **labels
+        ).set(self.offers)
+        registry.gauge(
+            "rolling_min_rejected", "Offers below a full row's minimum.", **labels
+        ).set(self.rejected)
 
     def sram_bits(self, value_bits: int = 64) -> int:
         """SRAM footprint per Table 2: ``(d*w) x value_bits``."""
@@ -253,6 +310,14 @@ class KeyedAggregateMatrix:
         self._cells: List[List[Optional[Tuple[Hashable, float]]]] = [
             [None] * cols for _ in range(rows)
         ]
+        #: Observations where the cached aggregate already dominated (pruned).
+        self.hits = 0
+        #: Observations that updated a cached key's aggregate.
+        self.updates = 0
+        #: Observations that installed a new key.
+        self.inserts = 0
+        #: Keys evicted by rolling replacement.
+        self.evictions = 0
 
     def row_of(self, key: Hashable) -> int:
         """Deterministic row assignment for ``key``."""
@@ -280,10 +345,14 @@ class KeyedAggregateMatrix:
             if cell is not None and cell[0] == key:
                 if self._better(value, cell[1]):
                     cells[col] = (key, value)
+                    self.updates += 1
                     return False
+                self.hits += 1
                 return True
         cells.insert(0, (key, value))
-        cells.pop()
+        self.inserts += 1
+        if cells.pop() is not None:
+            self.evictions += 1
         return False
 
     def observe_batch(
@@ -309,9 +378,38 @@ class KeyedAggregateMatrix:
         """Keys currently cached in ``row``."""
         return [cell[0] for cell in self._cells[row] if cell is not None]
 
+    def occupancy(self) -> int:
+        """Total number of cached keys across all rows."""
+        return sum(1 for row in self._cells for cell in row if cell is not None)
+
     def clear(self) -> None:
         """Empty every row."""
         self._cells = [[None] * self.cols for _ in range(self.rows)]
+        self.hits = 0
+        self.updates = 0
+        self.inserts = 0
+        self.evictions = 0
+
+    def observe_health(self, registry, **labels: object) -> None:
+        """Publish occupancy and hit/update/insert/eviction totals as gauges."""
+        registry.gauge(
+            "keyed_aggregate_occupancy", "Cached keys across all rows.", **labels
+        ).set(self.occupancy())
+        registry.gauge(
+            "keyed_aggregate_fill_ratio", "Occupied fraction of the d*w cells.", **labels
+        ).set(self.occupancy() / (self.rows * self.cols))
+        registry.gauge(
+            "keyed_aggregate_hits", "Observations dominated by the cache.", **labels
+        ).set(self.hits)
+        registry.gauge(
+            "keyed_aggregate_updates", "Observations improving a cached key.", **labels
+        ).set(self.updates)
+        registry.gauge(
+            "keyed_aggregate_inserts", "Observations installing a new key.", **labels
+        ).set(self.inserts)
+        registry.gauge(
+            "keyed_aggregate_evictions", "Keys evicted by rolling replacement.", **labels
+        ).set(self.evictions)
 
     def sram_bits(self, value_bits: int = 64) -> int:
         """SRAM per Table 2 (key and aggregate words per cell)."""

@@ -174,6 +174,19 @@ class CountMinSketch:
         """Sum of all amounts added across keys."""
         return self._total
 
+    def occupancy(self) -> float:
+        """Fraction of non-zero counters — collision pressure proxy."""
+        return float(np.count_nonzero(self._rows)) / (self.depth * self.width)
+
+    def observe_health(self, registry, **labels: object) -> None:
+        """Publish counter occupancy and the total mass added."""
+        registry.gauge(
+            "countmin_occupancy", "Fraction of non-zero counters.", **labels
+        ).set(self.occupancy())
+        registry.gauge(
+            "countmin_total", "Total amount added across keys.", **labels
+        ).set(self._total)
+
     def sram_bits(self, counter_bits: int = 64) -> int:
         """SRAM footprint, matching Table 2's ``(d*w) x 64b`` accounting."""
         return self.width * self.depth * counter_bits

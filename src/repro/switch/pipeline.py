@@ -10,10 +10,10 @@ itself happens at the end of the pipeline, so later stages still execute
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from ..errors import ConfigurationError, ResourceError
+from ..obs import Counter, MetricsRegistry, ratio
 from .resources import ResourceModel, TOFINO
 from .stage import Stage
 
@@ -67,33 +67,74 @@ class Phv:
         return self._used_bits
 
 
-@dataclass
 class PipelineStats:
-    """Counters the pipeline keeps while processing packets."""
+    """Packet counters — a thin view over registry samples.
 
-    packets: int = 0
-    pruned: int = 0
-    forwarded: int = 0
+    Only ``packets`` and ``pruned`` are stored; ``forwarded`` is derived
+    (``packets - pruned``), so the three can no longer drift apart the
+    way independently incremented fields could.
+    """
+
+    __slots__ = ("_packets", "_pruned")
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        if registry is None:
+            registry = MetricsRegistry()
+        self._packets = registry.counter(
+            "pipeline_packets_total", "Packets run through the pipeline."
+        )
+        self._pruned = registry.counter(
+            "pipeline_packets_pruned_total", "Packets marked prune at egress."
+        )
+
+    @property
+    def packets(self) -> int:
+        """Packets run through the pipeline."""
+        return self._packets.value
+
+    @property
+    def pruned(self) -> int:
+        """Packets dropped at the end of the pipeline."""
+        return self._pruned.value
+
+    @property
+    def forwarded(self) -> int:
+        """Packets that left the pipeline (derived: packets - pruned)."""
+        return self._packets.value - self._pruned.value
 
     @property
     def pruning_rate(self) -> float:
         """Fraction of processed packets that were pruned."""
-        if self.packets == 0:
-            return 0.0
-        return self.pruned / self.packets
+        return ratio(self._pruned.value, self._packets.value)
+
+    def record(self, pruned: bool) -> None:
+        """Account one packet's egress decision."""
+        self._packets.inc()
+        if pruned:
+            self._pruned.inc()
+
+    def __repr__(self) -> str:
+        return f"PipelineStats(packets={self.packets}, pruned={self.pruned})"
 
 
 class Pipeline:
     """An ordered set of stages sized by a :class:`ResourceModel`."""
 
-    def __init__(self, model: ResourceModel = TOFINO) -> None:
+    def __init__(
+        self, model: ResourceModel = TOFINO, metrics: Optional[MetricsRegistry] = None
+    ) -> None:
         self.model = model
         self.stages: List[Stage] = [
             Stage(i, model.alus_per_stage, model.sram_bits_per_stage)
             for i in range(model.stages)
         ]
         self._programs: Dict[int, List[StageProgram]] = {}
-        self.stats = PipelineStats()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.stats = PipelineStats(self.metrics)
+        self._stage_counters: Dict[int, Counter] = {}
+        self._phv_bits = self.metrics.gauge(
+            "phv_used_bits", "Widest PHV observed, in declared field bits."
+        )
 
     def stage(self, index: int) -> Stage:
         """Stage by position; raises for indexes beyond the hardware."""
@@ -107,6 +148,12 @@ class Pipeline:
         """Install a per-stage program (control-plane time)."""
         self.stage(stage_index)  # bounds check
         self._programs.setdefault(stage_index, []).append(program)
+        if stage_index not in self._stage_counters:
+            self._stage_counters[stage_index] = self.metrics.counter(
+                "pipeline_stage_packets_total",
+                "Packets seen by each programmed stage.",
+                stage=stage_index,
+            )
 
     def new_phv(self) -> Phv:
         """A fresh PHV bound to this hardware's bit budget."""
@@ -120,15 +167,17 @@ class Pipeline:
         """
         for stage in self.stages:
             stage.begin_packet()
-            for program in self._programs.get(stage.index, []):
-                program(stage, phv)
-        self.stats.packets += 1
-        if phv.prune:
-            self.stats.pruned += 1
-            return False
-        self.stats.forwarded += 1
-        return True
+            programs = self._programs.get(stage.index)
+            if programs:
+                self._stage_counters[stage.index].inc()
+                for program in programs:
+                    program(stage, phv)
+        if phv.used_bits > self._phv_bits.value:
+            self._phv_bits.set(phv.used_bits)
+        self.stats.record(phv.prune)
+        return not phv.prune
 
     def reset_stats(self) -> None:
-        """Zero the packet counters (state in registers is untouched)."""
-        self.stats = PipelineStats()
+        """Zero the packet counters and per-stage/PHV samples in place
+        (state in registers is untouched)."""
+        self.metrics.reset()

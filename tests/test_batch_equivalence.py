@@ -69,15 +69,19 @@ def _batch_mask(pruner, entries, chunk, to_batch=None):
 
 
 def _check_pruner(make, entries, tail, to_batch=None, chunks=CHUNKS):
-    """Assert batch == scalar decisions, stats, and post-state.
+    """Assert batch == scalar decisions, stats, metrics, and post-state.
 
     ``tail`` is an extra scalar stream replayed through both instances
     after the main stream: identical tail decisions certify that the
     batch path left the pruner in the same state as the scalar path.
+    Counters and health gauges are representation-independent, so after
+    identical streams the two registries must agree exactly (spans and
+    histograms, which carry timings, are deliberately excluded).
     """
     reference = make()
     expected = _scalar_mask(reference, entries)
     expected_tail = _scalar_mask(reference, tail)
+    reference.observe_health()
     for chunk in chunks:
         pruner = make()
         got = _batch_mask(pruner, entries, chunk, to_batch)
@@ -87,6 +91,13 @@ def _check_pruner(make, entries, tail, to_batch=None, chunks=CHUNKS):
         got_tail = _scalar_mask(pruner, tail)
         assert np.array_equal(got_tail, expected_tail), (
             f"post-state diverges at chunk={chunk}"
+        )
+        pruner.observe_health()
+        assert pruner.metrics.counter_values() == reference.metrics.counter_values(), (
+            f"metric counters diverge at chunk={chunk}"
+        )
+        assert pruner.metrics.gauge_values() == reference.metrics.gauge_values(), (
+            f"health gauges diverge at chunk={chunk}"
         )
 
 

@@ -1,0 +1,330 @@
+"""Unit tests for the observability subsystem (``repro.obs``).
+
+Covers registry get-or-create semantics, kind conflicts, the exporters
+(JSON round trip, Prometheus text format parsed line by line), spans,
+in-place reset, absorb-with-relabeling, the shared null registry, and
+the ``PruneStats`` thin view over registry counters.
+"""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.core.base import PruneDecision, PruneStats
+from repro.errors import ConfigurationError
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    null_registry,
+    ratio,
+    Span,
+    trace,
+)
+
+
+# ---------------------------------------------------------------------------
+# ratio helper
+# ---------------------------------------------------------------------------
+
+
+def test_ratio_shared_helper():
+    assert ratio(1, 4) == 0.25
+    assert ratio(0, 0) == 0.0
+    assert ratio(5, 0) == 0.0  # zero denominator convention
+
+
+# ---------------------------------------------------------------------------
+# registry sample semantics
+# ---------------------------------------------------------------------------
+
+
+def test_counter_get_or_create_identity():
+    registry = MetricsRegistry()
+    a = registry.counter("entries_total", "help", pruner="X")
+    b = registry.counter("entries_total", pruner="X")
+    assert a is b
+    other = registry.counter("entries_total", pruner="Y")
+    assert other is not a
+    a.inc()
+    a.inc(3)
+    assert a.value == 4
+    assert other.value == 0
+
+
+def test_counter_label_order_is_irrelevant():
+    registry = MetricsRegistry()
+    a = registry.counter("c_total", x="1", y="2")
+    b = registry.counter("c_total", y="2", x="1")
+    assert a is b
+
+
+def test_counter_rejects_negative_increment():
+    registry = MetricsRegistry()
+    with pytest.raises(ConfigurationError):
+        registry.counter("c_total").inc(-1)
+
+
+def test_kind_conflict_raises():
+    registry = MetricsRegistry()
+    registry.counter("thing_total")
+    with pytest.raises(ConfigurationError):
+        registry.gauge("thing_total")
+    with pytest.raises(ConfigurationError):
+        registry.histogram("thing_total")
+
+
+def test_invalid_metric_names_rejected():
+    registry = MetricsRegistry()
+    for bad in ("", "9starts_with_digit", "has space", "has-dash"):
+        with pytest.raises(ConfigurationError):
+            registry.counter(bad)
+
+
+def test_gauge_set_is_idempotent():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("fill_ratio")
+    gauge.set(0.5)
+    gauge.set(0.5)
+    assert gauge.value == 0.5
+    gauge.inc(-0.25)
+    assert gauge.value == 0.25
+
+
+def test_histogram_buckets_and_counts():
+    registry = MetricsRegistry()
+    hist = registry.histogram("lat_seconds", buckets=(0.1, 1.0))
+    for value in (0.05, 0.5, 0.5, 2.0):
+        hist.observe(value)
+    assert hist.counts == [1, 2, 1]  # <=0.1, <=1.0, +Inf
+    assert hist.count == 4
+    assert hist.sum == pytest.approx(3.05)
+
+
+def test_histogram_rejects_unsorted_buckets():
+    registry = MetricsRegistry()
+    with pytest.raises(ConfigurationError):
+        registry.histogram("bad_seconds", buckets=(1.0, 0.1))
+    with pytest.raises(ConfigurationError):
+        registry.histogram("empty_seconds", buckets=())
+
+
+# ---------------------------------------------------------------------------
+# reset / absorb
+# ---------------------------------------------------------------------------
+
+
+def test_reset_zeroes_in_place_keeping_view_identity():
+    registry = MetricsRegistry()
+    counter = registry.counter("c_total")
+    gauge = registry.gauge("g")
+    hist = registry.histogram("h_seconds")
+    counter.inc(7)
+    gauge.set(3.0)
+    hist.observe(0.2)
+    with registry.trace("phase"):
+        pass
+    registry.reset()
+    assert counter.value == 0 and gauge.value == 0.0
+    assert hist.count == 0 and sum(hist.counts) == 0
+    assert registry.spans == []
+    # the held references are still the registered samples
+    assert registry.counter("c_total") is counter
+    assert registry.gauge("g") is gauge
+    assert registry.histogram("h_seconds") is hist
+
+
+def test_absorb_adds_counters_overwrites_gauges_merges_histograms():
+    child = MetricsRegistry()
+    child.counter("c_total", pruner="P").inc(5)
+    child.gauge("g", pruner="P").set(0.75)
+    child.histogram("h_seconds", buckets=(1.0,), pruner="P").observe(0.5)
+    child.spans.append(Span("stream", 0.01))
+
+    parent = MetricsRegistry()
+    parent.counter("c_total", pruner="P", query="distinct").inc(2)
+    parent.absorb(child, query="distinct")
+    parent.absorb(child, query="distinct")  # counters add across absorbs
+
+    assert parent.counter("c_total", pruner="P", query="distinct").value == 12
+    assert parent.gauge("g", pruner="P", query="distinct").value == 0.75
+    merged = parent.histogram("h_seconds", buckets=(1.0,), pruner="P", query="distinct")
+    assert merged.count == 2 and merged.counts == [2, 0]
+    assert [s.labels for s in parent.spans] == [{"query": "distinct"}] * 2
+    # the child registry is untouched
+    assert child.counter("c_total", pruner="P").value == 5
+
+
+def test_absorb_histogram_bucket_mismatch_raises():
+    child = MetricsRegistry()
+    child.histogram("h_seconds", buckets=(1.0,)).observe(0.5)
+    parent = MetricsRegistry()
+    parent.histogram("h_seconds", buckets=(2.0,))
+    with pytest.raises(ConfigurationError):
+        parent.absorb(child)
+
+
+# ---------------------------------------------------------------------------
+# spans
+# ---------------------------------------------------------------------------
+
+
+def test_trace_records_span_and_histogram():
+    registry = MetricsRegistry()
+    with trace(registry, "stream", worker=3) as span:
+        pass
+    assert span.seconds >= 0.0
+    assert registry.spans == [span]
+    assert span.labels == {"worker": "3"}
+    hist = registry.histogram("span_seconds", span="stream")
+    assert hist.count == 1
+
+
+def test_trace_records_span_on_exception():
+    registry = MetricsRegistry()
+    with pytest.raises(RuntimeError):
+        with trace(registry, "doomed"):
+            raise RuntimeError("boom")
+    assert [s.name for s in registry.spans] == ["doomed"]
+    assert registry.spans[0].seconds >= 0.0
+
+
+def test_span_round_trip_and_relabel():
+    span = Span("stream", 0.25, {"worker": "1"})
+    assert Span.from_dict(span.to_dict()) == span
+    relabeled = span.relabel(query="distinct")
+    assert relabeled.labels == {"worker": "1", "query": "distinct"}
+    assert span.labels == {"worker": "1"}  # original untouched
+
+
+# ---------------------------------------------------------------------------
+# exporters
+# ---------------------------------------------------------------------------
+
+
+def _populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("entries_total", "Entries seen.", pruner="X").inc(9)
+    registry.counter("entries_total", "Entries seen.", pruner="Y").inc(1)
+    registry.gauge("fill_ratio", "Bloom fill.", side="L").set(0.125)
+    registry.histogram(
+        "lat_seconds", "Latency.", buckets=(0.1, 1.0), phase="stream"
+    ).observe(0.5)
+    with registry.trace("stream", worker=0):
+        pass
+    return registry
+
+
+def test_to_dict_from_dict_round_trip():
+    registry = _populated_registry()
+    clone = MetricsRegistry.from_dict(registry.to_dict())
+    assert clone.to_dict() == registry.to_dict()
+    assert clone.counter_values() == registry.counter_values()
+    assert clone.gauge_values() == registry.gauge_values()
+
+
+def test_counter_values_canonical_form():
+    registry = _populated_registry()
+    values = registry.counter_values()
+    assert values["entries_total{pruner=X}"] == 9
+    assert values["entries_total{pruner=Y}"] == 1
+
+
+# One Prometheus text-format line: comment, or sample with optional
+# labels and a numeric value.
+_PROM_LINE = re.compile(
+    r"^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+"
+    r"|[a-zA-Z_:][a-zA-Z0-9_:]*(_bucket|_sum|_count)?"
+    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})?'
+    r" [0-9eE.+\-]+(\+Inf)?)$"
+)
+
+
+def test_prometheus_export_parses_line_by_line():
+    text = _populated_registry().to_prometheus()
+    assert text.endswith("\n")
+    lines = text.splitlines()
+    assert lines, "export should not be empty"
+    for line in lines:
+        assert _PROM_LINE.match(line), f"unparseable exposition line: {line!r}"
+    # spot-check the structural requirements of the format
+    assert "# TYPE entries_total counter" in lines
+    assert 'entries_total{pruner="X"} 9' in lines
+    assert "# TYPE lat_seconds histogram" in lines
+    assert 'lat_seconds_bucket{le="+Inf",phase="stream"} 1' in lines
+    assert 'lat_seconds_count{phase="stream"} 1' in lines
+    # histogram buckets are cumulative
+    bucket_values = [
+        int(line.rsplit(" ", 1)[1])
+        for line in lines
+        if line.startswith("lat_seconds_bucket")
+    ]
+    assert bucket_values == sorted(bucket_values)
+
+
+def test_prometheus_label_escaping():
+    registry = MetricsRegistry()
+    registry.counter("c_total", query='say "hi"\\now').inc()
+    line = [
+        l for l in registry.to_prometheus().splitlines() if l.startswith("c_total{")
+    ][0]
+    assert '\\"hi\\"' in line and "\\\\now" in line
+
+
+# ---------------------------------------------------------------------------
+# null registry
+# ---------------------------------------------------------------------------
+
+
+def test_null_registry_is_shared_and_inert():
+    null = null_registry()
+    assert null is null_registry()
+    assert not null.enabled
+    counter = null.counter("c_total")
+    counter.inc(100)
+    assert counter.value == 0
+    gauge = null.gauge("g")
+    gauge.set(5.0)
+    assert gauge.value == 0.0
+    hist = null.histogram("h_seconds")
+    hist.observe(1.0)
+    assert hist.count == 0
+    with null.trace("phase") as span:
+        pass
+    assert null.spans == [] and span.seconds >= 0.0
+    assert null.to_dict() == {
+        "counters": [],
+        "gauges": [],
+        "histograms": [],
+        "spans": [],
+    }
+
+
+# ---------------------------------------------------------------------------
+# PruneStats as a registry view
+# ---------------------------------------------------------------------------
+
+
+def test_prune_stats_records_into_registry():
+    registry = MetricsRegistry()
+    stats = PruneStats(registry, pruner="X")
+    stats.record(PruneDecision.FORWARD)
+    stats.record(PruneDecision.PRUNE)
+    stats.record_batch(10, 4)
+    assert stats.processed == 12
+    assert stats.pruned == 5
+    assert stats.forwarded == 7  # derived, not stored
+    assert stats.pruning_rate == pytest.approx(5 / 12)
+    values = registry.counter_values()
+    assert values["pruner_entries_processed_total{pruner=X}"] == 12
+    assert values["pruner_entries_pruned_total{pruner=X}"] == 5
+
+
+def test_prune_stats_standalone_and_reset():
+    stats = PruneStats()  # private registry when none is given
+    stats.record(PruneDecision.PRUNE)
+    assert (stats.processed, stats.pruned) == (1, 1)
+    stats.reset()
+    assert (stats.processed, stats.pruned, stats.forwarded) == (0, 0, 0)
+    assert stats.pruning_rate == 0.0

@@ -25,7 +25,7 @@ Quickstart::
     print(result.pruning_rate, len(result.output))
 """
 
-from . import analysis, baselines, core, engine, extensions, net, sketches, switch, workloads
+from . import analysis, baselines, core, engine, extensions, faults, net, sketches, switch, workloads
 from .core import (
     DistinctPruner,
     FilterPruner,
@@ -78,6 +78,7 @@ __all__ = [
     "core",
     "engine",
     "extensions",
+    "faults",
     "net",
     "sketches",
     "switch",

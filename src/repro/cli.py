@@ -71,6 +71,26 @@ def _build_parser() -> argparse.ArgumentParser:
     metrics_cmd.add_argument("--prom", action="store_true",
                              help="emit the Prometheus text format instead")
 
+    chaos_cmd = sub.add_parser(
+        "chaos",
+        help="replay a named fault-injection scenario and report degradations",
+    )
+    chaos_cmd.add_argument("--scenario", default=None,
+                           help="scenario name (see --list)")
+    chaos_cmd.add_argument("--list", action="store_true",
+                           help="list the named scenarios and exit")
+    chaos_cmd.add_argument("--seed", type=int, default=0,
+                           help="fault-schedule seed (default 0)")
+    chaos_cmd.add_argument("--rows", type=int, default=12_000,
+                           help="UserVisits rows to generate (default 12000)")
+    chaos_cmd.add_argument("--workers", type=int, default=5,
+                           help="cluster workers (default 5)")
+    chaos_cmd.add_argument("--policy", default="auto",
+                           choices=("auto", "rebuild", "passthrough"),
+                           help="JOIN probe-loss degradation policy")
+    chaos_cmd.add_argument("--json", metavar="PATH", default=None,
+                           help="write the deterministic fault report to PATH")
+
     sub.add_parser("table2", help="print the Table 2 resource footprints")
     sub.add_parser("workloads", help="list the generated tables and columns")
     return parser
@@ -155,6 +175,101 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _chaos_length(query, tables) -> int:
+    """Entries the switch will process for ``query`` (fault positions)."""
+    from .engine.plan import HavingOp, JoinOp
+
+    op = query.operator
+    if isinstance(op, JoinOp):
+        # Build pass + probe pass each stream both key columns.
+        return 2 * (tables[op.table].num_rows + tables[op.right_table].num_rows)
+    if isinstance(op, HavingOp):
+        table = tables[op.table]
+        if query.where is not None:
+            return int(query.where.mask(table).sum())
+        return table.num_rows
+    return tables[op.table].num_rows
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .engine.cluster import ClusterConfig
+    from .engine.reference import run_reference
+    from .faults.plan import SCENARIOS, scenario
+
+    if args.list:
+        for name in sorted(SCENARIOS):
+            spec = SCENARIOS[name]
+            print(f"{name:18s} {spec.query:12s} {spec.description}")
+        return 0
+    if args.scenario is None:
+        print("error: --scenario NAME required (or --list)", file=sys.stderr)
+        return 1
+    spec = scenario(args.scenario)
+    scale = bigdata.BigDataScale(
+        rankings_rows=max(1000, args.rows // 2),
+        uservisits_rows=args.rows,
+        distinct_urls=max(400, args.rows // 5),
+    )
+    tables = bigdata.tables(scale, seed=args.seed)
+    if spec.query == "Q3-skyline":
+        tables["Rankings"] = bigdata.permuted(tables["Rankings"], seed=args.seed)
+    query = bigdata.benchmark_queries()[spec.query]
+    plan = spec.build_plan(args.seed, _chaos_length(query, tables))
+    cluster = Cluster(
+        workers=args.workers,
+        config=ClusterConfig(fault_plan=plan, degrade_policy=args.policy),
+    )
+    result = cluster.run(query, tables)
+    expected = run_reference(query, tables)
+    match = result.output == expected
+    faults = result.faults or {}
+    print(f"scenario : {spec.name} ({spec.description})")
+    print(f"query    : {result.query}")
+    print(f"seed     : {args.seed}  policy: {args.policy}")
+    print(f"plan     : {len(plan)} scheduled events")
+    for line in plan.describe():
+        print(f"  - {line}")
+    print(f"injected : {faults.get('injected', 0)} "
+          f"{faults.get('by_kind', {})}")
+    for degradation in faults.get("degradations", ()):
+        print(f"degraded : [{degradation['op']}] {degradation['action']} "
+              f"at entry {degradation['at']}: {degradation['reason']}")
+    print(f"traffic  : {result.total_streamed} streamed, "
+          f"{result.total_forwarded} forwarded "
+          f"({result.pruning_rate:.2%} pruned)")
+    print(f"output   : {'MATCHES reference' if match else 'MISMATCH'}")
+    if args.json is not None:
+        # Deliberately excludes wall-times: the artifact is byte-stable
+        # for a fixed (scenario, seed, rows, workers) tuple.
+        artifact = {
+            "scenario": spec.name,
+            "query": result.query,
+            "seed": args.seed,
+            "rows": args.rows,
+            "workers": args.workers,
+            "policy": args.policy,
+            "plan": plan.to_dict(),
+            "faults": faults,
+            "totals": {
+                "streamed": result.total_streamed,
+                "forwarded": result.total_forwarded,
+            },
+            "phases": [
+                {
+                    "name": phase.name,
+                    "streamed": phase.streamed,
+                    "forwarded": phase.forwarded,
+                }
+                for phase in result.phases
+            ],
+            "output_matches_reference": match,
+        }
+        with open(args.json, "w") as handle:
+            json.dump(artifact, handle, indent=2, sort_keys=True)
+        print(f"report   : written to {args.json}")
+    return 0 if match else 1
+
+
 def _cmd_explain(args: argparse.Namespace) -> int:
     from .engine.explain import explain
 
@@ -189,6 +304,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "query": _cmd_query,
         "explain": _cmd_explain,
         "metrics": _cmd_metrics,
+        "chaos": _cmd_chaos,
         "table2": _cmd_table2,
         "workloads": _cmd_workloads,
     }

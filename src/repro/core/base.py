@@ -20,6 +20,7 @@ extra entries.
 
 from __future__ import annotations
 
+import random
 from abc import ABC, abstractmethod
 from enum import Enum
 from typing import Generic, Iterable, Iterator, List, Optional, Sequence, Tuple, TypeVar
@@ -226,6 +227,46 @@ class Pruner(ABC, Generic[Entry]):
         pruner's registry into the run report.  The base implementation
         does nothing — pruners backed by sketches override it.
         """
+
+    # -- fault hooks ---------------------------------------------------------
+
+    def reboot(self) -> None:
+        """Simulate a switch reboot: dataplane state is lost mid-query.
+
+        Unlike the final :meth:`reset` (a deliberate new-query reset that
+        also zeroes the registry), a reboot wipes *only* the switch-side
+        state via :meth:`_reset_state` — the controller keeps its metrics,
+        so decision counts from before the crash survive into the run
+        report, and the reboot itself is counted.
+        """
+        self.metrics.counter(
+            "pruner_reboots_total",
+            "Mid-query switch reboots this pruner absorbed.",
+            pruner=type(self).__name__,
+        ).inc()
+        self._reset_state()
+
+    def corrupt_state(self, rng: random.Random) -> Optional[str]:
+        """Flip bits in the pruner's dataplane state (fault injection).
+
+        Delegates to the :meth:`_corrupt_state` hook and counts the event
+        when the pruner actually had state to corrupt.  Returns a short
+        human-readable description of what was garbled, or ``None`` for
+        stateless pruners (filtering) — the injector then treats the
+        bit-flip as landing in unused SRAM.
+        """
+        description = self._corrupt_state(rng)
+        if description is not None:
+            self.metrics.counter(
+                "pruner_state_corruptions_total",
+                "Injected bit corruptions that hit live pruner state.",
+                pruner=type(self).__name__,
+            ).inc()
+        return description
+
+    def _corrupt_state(self, rng: random.Random) -> Optional[str]:
+        """Hook: corrupt subclass dataplane state; ``None`` when stateless."""
+        return None
 
     def with_metrics(self, registry: MetricsRegistry) -> "Pruner[Entry]":
         """Rebind this pruner's samples onto ``registry`` and return self.

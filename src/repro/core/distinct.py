@@ -97,6 +97,14 @@ class DistinctPruner(Pruner[Hashable]):
     def _reset_state(self) -> None:
         self._matrix.clear()
 
+    def _corrupt_state(self, rng) -> Optional[str]:
+        """Plant a phantom value in a random cache cell (fault injection)."""
+        return self._matrix.corrupt_cell(
+            rng.randrange(self._matrix.rows),
+            rng.randrange(self._matrix.cols),
+            ("corrupt", rng.getrandbits(32)),
+        )
+
     def observe_health(self) -> None:
         """Publish cache-matrix occupancy and hit/eviction pressure."""
         self._matrix.observe_health(self.metrics, pruner=type(self).__name__)
@@ -196,6 +204,14 @@ class FingerprintDistinctPruner(Pruner[Sequence[Hashable]]):
 
     def _reset_state(self) -> None:
         self._matrix.clear()
+
+    def _corrupt_state(self, rng) -> Optional[str]:
+        """Plant a phantom fingerprint in a random cache cell."""
+        return self._matrix.corrupt_cell(
+            rng.randrange(self._matrix.rows),
+            rng.randrange(self._matrix.cols),
+            rng.getrandbits(32),
+        )
 
     def observe_health(self) -> None:
         """Publish cache-matrix occupancy and hit/eviction pressure."""

@@ -103,6 +103,15 @@ class GroupByPruner(Pruner[Tuple[Hashable, float]]):
     def _reset_state(self) -> None:
         self._matrix.clear()
 
+    def _corrupt_state(self, rng) -> Optional[str]:
+        """Plant a phantom ``(key, aggregate)`` pair in a random cell."""
+        return self._matrix.corrupt_cell(
+            rng.randrange(self._matrix.rows),
+            rng.randrange(self._matrix.cols),
+            f"corrupt-{rng.getrandbits(32):08x}",
+            float(1 << 48),
+        )
+
     def observe_health(self) -> None:
         """Publish keyed-aggregate matrix occupancy and hit pressure."""
         self._matrix.observe_health(self.metrics, pruner=type(self).__name__)

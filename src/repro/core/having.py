@@ -175,6 +175,28 @@ class HavingPruner(Pruner[Tuple[Hashable, float]]):
         if self._dedupe is not None:
             self._dedupe.clear()
 
+    def _corrupt_state(self, rng) -> Optional[str]:
+        """Flip a Count-Min counter bit (or garble the dedupe cache).
+
+        A wrapped-around counter under-estimates a key's running sum, so
+        its threshold crossing is missed — breaking the one-sidedness the
+        HAVING completion relies on; detected corruption therefore forces
+        a reboot and the passthrough degradation.
+        """
+        if self._sketch is not None:
+            row = rng.randrange(self._sketch.depth)
+            col = rng.randrange(self._sketch.width)
+            bit = rng.randrange(16, 48)
+            now = self._sketch.corrupt_cell(row, col, bit)
+            return f"countmin[{row}][{col}] bit {bit} -> {now}"
+        if self._dedupe is not None:
+            return self._dedupe.corrupt_cell(
+                rng.randrange(self._dedupe.rows),
+                rng.randrange(self._dedupe.cols),
+                ("corrupt", rng.getrandbits(32)),
+            )
+        return None
+
     def observe_health(self) -> None:
         """Publish Count-Min occupancy and dedupe cache pressure."""
         name = type(self).__name__

@@ -188,6 +188,19 @@ class JoinPruner(Pruner[SideKey]):
             f.clear()
         self._built = False
 
+    def _corrupt_state(self, rng) -> Optional[str]:
+        """Flip one bit of a random side's Bloom filter.
+
+        Clearing a set bit induces false negatives — matching keys would
+        be pruned — which is why the cluster escalates detected
+        corruption on a JOIN to a reboot plus rebuild-or-passthrough.
+        """
+        side = rng.choice(sorted(self._filters))
+        bloom = self._filters[side]
+        index = rng.randrange(bloom.size_bits)
+        now = bloom.flip_bit(index)
+        return f"bloom[{side}] bit {index} -> {int(now)}"
+
     def observe_health(self) -> None:
         """Publish both build filters' fill ratios and FP estimates."""
         for side, bloom in self._filters.items():
@@ -262,6 +275,12 @@ class AsymmetricJoinPruner(Pruner[Hashable]):
     def _reset_state(self) -> None:
         self._filter.clear()
         self._built = False
+
+    def _corrupt_state(self, rng) -> Optional[str]:
+        """Flip one bit of the small-table filter."""
+        index = rng.randrange(self._filter.size_bits)
+        now = self._filter.flip_bit(index)
+        return f"bloom[small] bit {index} -> {int(now)}"
 
     def observe_health(self) -> None:
         """Publish the small-table filter's fill ratio and FP estimate."""
@@ -385,6 +404,10 @@ class OuterJoinPruner(Pruner[SideKey]):
 
     def _reset_state(self) -> None:
         self._inner.reset()
+
+    def _corrupt_state(self, rng) -> Optional[str]:
+        """Delegate the bit-flip to the wrapped symmetric pruner."""
+        return self._inner._corrupt_state(rng)
 
     def observe_health(self) -> None:
         """Publish the wrapped join pruner's filter health (idempotent)."""

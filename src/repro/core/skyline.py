@@ -252,6 +252,22 @@ class SkylinePruner(Pruner[Point]):
         self._last_carried = None
         self.last_batch_carried = []
 
+    def _corrupt_state(self, rng) -> Optional[str]:
+        """Replace a stored pruning point with a phantom dominator.
+
+        A phantom point that dominates everything makes the pruner drop
+        genuine skyline points, and — unlike the drained real points — it
+        never reaches the master; hence the restart-passthrough policy.
+        """
+        occupied = [i for i, slot in enumerate(self._slots) if slot is not None]
+        if not occupied:
+            return None
+        index = rng.choice(occupied)
+        previous_score, previous_point = self._slots[index]
+        phantom = tuple(float(1 << 40) for _ in range(self.dims))
+        self._slots[index] = (float("inf"), phantom)
+        return f"slot[{index}] {previous_point!r} -> phantom dominator"
+
     def observe_health(self) -> None:
         """Publish how many of the ``w`` point slots are occupied."""
         occupied = sum(1 for slot in self._slots if slot is not None)

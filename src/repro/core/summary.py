@@ -137,3 +137,32 @@ def render_table4() -> List[str]:
 def reboot_safe_algorithms() -> List[str]:
     """Names of the algorithms that survive a mid-query switch reboot."""
     return [row.name for row in TABLE4 if row.reboot_safe]
+
+
+#: Cluster operator-kind tag -> Table 4 row-name prefix.
+_OP_KIND_ROWS = {
+    "filter": "FILTERING",
+    "distinct": "DISTINCT",
+    "topn": "TOP N",
+    "groupby": "GROUP BY",
+    "join": "JOIN",
+    "having": "HAVING",
+    "skyline": "SKYLINE",
+}
+
+
+def is_reboot_safe(op_kind: str) -> bool:
+    """Table 4's reboot-safety verdict for a cluster operator kind.
+
+    ``op_kind`` is the short tag the cluster runner uses (``"filter"``,
+    ``"distinct"``, ``"topn"``, ``"groupby"``, ``"join"``, ``"having"``,
+    ``"skyline"``).  A kind covering several Table 4 rows (TOP N,
+    DISTINCT) is safe only if *every* variant is — the degradation policy
+    must not depend on which variant happens to be configured.
+    """
+    try:
+        prefix = _OP_KIND_ROWS[op_kind]
+    except KeyError:
+        raise KeyError(f"unknown operator kind {op_kind!r}") from None
+    rows = [row for row in TABLE4 if row.name.startswith(prefix)]
+    return all(row.reboot_safe for row in rows)

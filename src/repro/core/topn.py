@@ -156,6 +156,24 @@ class TopNDeterministicPruner(Pruner[float]):
         self._thresholds = []
         self._counters = []
 
+    def _corrupt_state(self, rng) -> Optional[str]:
+        """Garble a threshold counter (or the warmup minimum).
+
+        Inflating a counter makes the pruner believe N entries already
+        cleared a threshold, so it wrongly prunes genuine top-N values —
+        the reason detected corruption forces a reboot.
+        """
+        if self._counters:
+            index = rng.randrange(len(self._counters))
+            bump = 1 << rng.randrange(4, 16)
+            self._counters[index] += bump
+            return f"threshold counter[{index}] += {bump}"
+        if self._warmup_seen and self._warmup_min is not None:
+            previous = self._warmup_min
+            self._warmup_min = previous + float(1 << rng.randrange(4, 16))
+            return f"warmup_min {previous!r} -> {self._warmup_min!r}"
+        return None
+
     def observe_health(self) -> None:
         """Publish the warmup progress and active threshold count."""
         self.metrics.gauge(
@@ -258,6 +276,14 @@ class TopNRandomizedPruner(Pruner[float]):
 
     def _reset_state(self) -> None:
         self._matrix.clear()
+
+    def _corrupt_state(self, rng) -> Optional[str]:
+        """Plant a huge phantom minimum in a random matrix cell."""
+        return self._matrix.corrupt_cell(
+            rng.randrange(self._matrix.rows),
+            rng.randrange(self._matrix.cols),
+            float(1 << 60),
+        )
 
     def observe_health(self) -> None:
         """Publish rolling-minimum matrix occupancy and offer pressure."""

@@ -30,8 +30,11 @@ from ..core.groupby import GroupByPruner, master_groupby
 from ..core.having import HavingPruner, master_having
 from ..core.join import JoinPruner
 from ..core.skyline import SkylinePruner, master_skyline
+from ..core.summary import is_reboot_safe
 from ..core.topn import TopNDeterministicPruner, TopNRandomizedPruner, master_topn
 from ..errors import ConfigurationError, PlanError
+from ..faults.injector import FaultInjector
+from ..faults.plan import FaultEvent, FaultPlan
 from ..obs import MetricsRegistry, ratio
 from ..switch.resources import ResourceModel, TOFINO
 from .plan import (
@@ -64,6 +67,19 @@ class PhaseVolume:
 
 
 @dataclass
+class _ChaosState:
+    """Mutable degradation flags one chaos run threads through its phases.
+
+    ``passthrough`` latches on when the switch can no longer prune soundly
+    (stage exhaustion, or a reboot-unsafe operator choosing forward-all);
+    every later entry is forwarded unfiltered and the master completes the
+    query itself — superset-safety keeps the output unchanged.
+    """
+
+    passthrough: bool = False
+
+
+@dataclass
 class RunResult:
     """Outcome of one cluster execution."""
 
@@ -76,6 +92,10 @@ class RunResult:
     #: Per-run metrics registry (phase spans, per-worker volumes, and the
     #: absorbed pruner counters/gauges); None for hand-built results.
     metrics: Optional[MetricsRegistry] = None
+    #: Fault account (plan size, injected events, degradations) when the
+    #: run executed under a :class:`~repro.faults.plan.FaultPlan`; None
+    #: for fault-free runs.
+    faults: Optional[dict] = None
 
     @property
     def total_streamed(self) -> int:
@@ -128,6 +148,7 @@ class RunResult:
                 for phase in self.phases
             ],
             "metrics": self.metrics.to_dict() if self.metrics is not None else {},
+            "faults": self.faults,
         }
 
 
@@ -189,11 +210,26 @@ class ClusterConfig:
     skyline_score: str = "aph"
     worker_assist_filters: bool = False
     seed: int = 0
+    #: Optional fault schedule: when set, Cheetah runs execute on the
+    #: chaos path (scalar streaming, per-entry fault cursor, graceful
+    #: degradation).  Baseline (``use_cheetah=False``) runs ignore it.
+    fault_plan: Optional[FaultPlan] = None
+    #: What a reboot-unsafe JOIN does when its Bloom filters are lost
+    #: mid-probe: ``"rebuild"`` re-streams the build pass,
+    #: ``"passthrough"`` forwards the remaining probes unfiltered, and
+    #: ``"auto"`` picks by the filters' fill ratio (a nearly-full filter
+    #: barely prunes, so rebuilding it is wasted traffic).
+    degrade_policy: str = "auto"
 
     def __post_init__(self) -> None:
         if self.batch_size is not None and self.batch_size <= 0:
             raise ConfigurationError(
                 f"batch_size must be positive or None, got {self.batch_size}"
+            )
+        if self.degrade_policy not in ("auto", "rebuild", "passthrough"):
+            raise ConfigurationError(
+                f"degrade_policy must be 'auto', 'rebuild' or 'passthrough', "
+                f"got {self.degrade_policy!r}"
             )
     model: ResourceModel = TOFINO
     validate_resources: bool = True
@@ -217,15 +253,30 @@ class Cluster:
 
         Without Cheetah the same streaming path runs with a passthrough
         pruner, so volumes reflect the software baseline's data movement.
+
+        When :attr:`ClusterConfig.fault_plan` is set, the Cheetah path
+        runs under a :class:`~repro.faults.injector.FaultInjector`: link
+        and worker faults perturb the entry streams, switch faults fire
+        against the pruner as the global entry cursor crosses them, and
+        every graceful-degradation decision is recorded on the result's
+        ``faults`` report.
         """
         operator = query.operator
+        injector: Optional[FaultInjector] = None
+        if use_cheetah and self.config.fault_plan is not None:
+            injector = FaultInjector(self.config.fault_plan)
         if isinstance(operator, JoinOp):
-            return self._run_join(query, tables, use_cheetah)
-        if isinstance(operator, HavingOp):
-            return self._run_having(query, tables, use_cheetah)
-        if isinstance(operator, SkylineOp):
-            return self._run_skyline(query, tables, use_cheetah)
-        return self._run_single_pass(query, tables, use_cheetah)
+            result = self._run_join(query, tables, use_cheetah, injector)
+        elif isinstance(operator, HavingOp):
+            result = self._run_having(query, tables, use_cheetah, injector)
+        elif isinstance(operator, SkylineOp):
+            result = self._run_skyline(query, tables, use_cheetah, injector)
+        else:
+            result = self._run_single_pass(query, tables, use_cheetah, injector)
+        if injector is not None and result.metrics is not None:
+            result.metrics.absorb(injector.metrics)
+            result.faults = injector.summary()
+        return result
 
     def run_verified(self, query: Query, tables: TableMap) -> RunResult:
         """Run with Cheetah and assert the pruning contract against reference."""
@@ -450,14 +501,241 @@ class Cluster:
             )
         return FilterPruner(formula, worker_assist=self.config.worker_assist_filters)
 
+    # -- graceful degradation (fault injection) --------------------------------
+
+    def _apply_single_pass_fault(
+        self,
+        event: FaultEvent,
+        kind: str,
+        pruner: Pruner,
+        injector: FaultInjector,
+        state: _ChaosState,
+    ) -> None:
+        """Apply one switch fault on the single-pass path.
+
+        Every single-pass operator (filter/COUNT, DISTINCT, TOP N,
+        GROUP BY) is reboot-safe per Table 4: emptied dataplane state only
+        ever makes the switch forward *more*, so the sound recovery is to
+        continue with empty state.  Stage exhaustion instead disables the
+        pruning program outright — the stage fails open and the remainder
+        of the stream is forwarded unfiltered.
+        """
+        if event.kind == "exhaust":
+            injector.record(event.kind, event.at, op=kind)
+            state.passthrough = True
+            injector.record_degradation(
+                kind,
+                "passthrough-remainder",
+                event.at,
+                "pipeline stage exhausted; stage fails open, remainder forwarded",
+            )
+            return
+        if event.kind == "bitflip":
+            description = pruner.corrupt_state(injector.rng)
+            injector.record(event.kind, event.at, op=kind, hit=description)
+            if description is None:
+                return  # landed in unallocated SRAM; nothing to recover
+            reason = f"parity-detected bit flip ({description})"
+        else:  # reboot
+            injector.record(event.kind, event.at, op=kind)
+            reason = "switch reboot"
+        if is_reboot_safe(kind):
+            pruner.reboot()
+            injector.record_degradation(
+                kind,
+                "continue-empty-state",
+                event.at,
+                f"{reason}; {kind} is reboot-safe (Table 4) — superset forwarded",
+            )
+        else:  # pragma: no cover - single-pass operators are all reboot-safe
+            state.passthrough = True
+            injector.record_degradation(
+                kind,
+                "passthrough-remainder",
+                event.at,
+                f"{reason}; {kind} is not reboot-safe — forward-all fallback",
+            )
+
+    def _apply_join_fault(
+        self,
+        event: FaultEvent,
+        pruner: JoinPruner,
+        injector: FaultInjector,
+        state: _ChaosState,
+        rebuild: PhaseVolume,
+        left_keys: List,
+        right_keys: List,
+        during: str,
+    ) -> None:
+        """Apply one switch fault to the JOIN pruner (not reboot-safe).
+
+        Losing the Bloom filters mid-*build* simply restarts the build
+        pass.  Losing them mid-*probe* is the Table 4 hazard: an empty
+        filter would prune every remaining probe, silently losing join
+        rows.  :attr:`ClusterConfig.degrade_policy` decides between
+        re-streaming the build pass (extra ``join-rebuild`` traffic) and
+        forwarding the remaining probes unfiltered; ``"auto"`` consults
+        the filters' fill ratio — a nearly-full filter barely prunes, so
+        rebuilding it buys nothing.
+        """
+        if event.kind == "exhaust":
+            injector.record(event.kind, event.at, op="join")
+            state.passthrough = True
+            injector.record_degradation(
+                "join",
+                "passthrough-remainder",
+                event.at,
+                "pipeline stage exhausted; remaining probes forward unfiltered",
+            )
+            return
+        if event.kind == "bitflip":
+            description = pruner.corrupt_state(injector.rng)
+            injector.record(event.kind, event.at, op="join", hit=description)
+            if description is None:
+                return
+            reason = f"parity-detected bit flip ({description})"
+        else:  # reboot
+            injector.record(event.kind, event.at, op="join")
+            reason = "switch reboot"
+        rebuild_volume = len(left_keys) + len(right_keys)
+        if during == "build":
+            pruner.reboot()
+            pruner.build(left_keys, right_keys)
+            rebuild.streamed += rebuild_volume
+            injector.record_degradation(
+                "join",
+                "rebuild-build",
+                event.at,
+                f"{reason} during the build pass; both key columns re-streamed",
+            )
+            return
+        # Health gauges survive a reboot (the controller keeps metrics),
+        # so capture the fill ratio before wiping the filters.
+        pruner.observe_health()
+        fill = max(f.fill_ratio() for f in pruner._filters.values())
+        action = self.config.degrade_policy
+        if action == "auto":
+            action = "passthrough" if fill > 0.5 else "rebuild"
+        pruner.reboot()
+        if action == "rebuild":
+            pruner.build(left_keys, right_keys)
+            rebuild.streamed += rebuild_volume
+            injector.record_degradation(
+                "join",
+                "rebuild",
+                event.at,
+                f"{reason} during probe; bloom fill {fill:.3f} — "
+                "build pass re-streamed",
+            )
+        else:
+            state.passthrough = True
+            injector.record_degradation(
+                "join",
+                "passthrough",
+                event.at,
+                f"{reason} during probe; bloom fill {fill:.3f} — "
+                "remaining probes forward unfiltered",
+            )
+
+    def _apply_having_fault(
+        self,
+        event: FaultEvent,
+        pruner: HavingPruner,
+        injector: FaultInjector,
+        state: _ChaosState,
+    ) -> bool:
+        """Apply one switch fault to HAVING's sketch pass; True → refetch all.
+
+        HAVING is not reboot-safe (Table 4): a key whose entries all
+        arrived before the fault may never re-cross the threshold, so no
+        amount of forward-from-here-on recovers it.  The only sound
+        fallback is to treat *every* key as a candidate — the partial
+        second pass becomes a full one (baseline traffic, correct output).
+        """
+        if event.kind == "bitflip":
+            description = pruner.corrupt_state(injector.rng)
+            injector.record(event.kind, event.at, op="having", hit=description)
+            if description is None:
+                return False
+            reason = f"parity-detected bit flip ({description})"
+            pruner.reboot()
+        elif event.kind == "reboot":
+            injector.record(event.kind, event.at, op="having")
+            reason = "switch reboot"
+            pruner.reboot()
+        else:  # exhaust: the sketch stops updating but keeps its state
+            injector.record(event.kind, event.at, op="having")
+            reason = "pipeline stage exhausted"
+        state.passthrough = True
+        injector.record_degradation(
+            "having",
+            "refetch-all",
+            event.at,
+            f"{reason}; HAVING is not reboot-safe — every key becomes a "
+            "candidate for the second pass",
+        )
+        return True
+
+    def _apply_skyline_fault(
+        self,
+        event: FaultEvent,
+        pruner: SkylinePruner,
+        injector: FaultInjector,
+        state: _ChaosState,
+        replay: List,
+    ) -> bool:
+        """Apply one switch fault to SKYLINE's stream; True → replay prefix.
+
+        SKYLINE is not reboot-safe (Table 4): pruned points were dominated
+        by *cached* points, so losing the cache before the FIN drain could
+        lose their dominators from the master's view.  Recovery re-streams
+        every point processed since the last reboot through the fresh
+        cache (duplicates are superset-safe).  Stage exhaustion keeps the
+        register cache intact — it still drains at FIN — so forwarding the
+        remainder unfiltered is sound without a replay.
+        """
+        if event.kind == "exhaust":
+            injector.record(event.kind, event.at, op="skyline")
+            state.passthrough = True
+            injector.record_degradation(
+                "skyline",
+                "passthrough-remainder",
+                event.at,
+                "pipeline stage exhausted; cache intact and drains at FIN",
+            )
+            return False
+        if event.kind == "bitflip":
+            description = pruner.corrupt_state(injector.rng)
+            injector.record(event.kind, event.at, op="skyline", hit=description)
+            if description is None:
+                return False
+            reason = f"parity-detected bit flip ({description})"
+        else:  # reboot
+            injector.record(event.kind, event.at, op="skyline")
+            reason = "switch reboot"
+        pruner.reboot()
+        injector.record_degradation(
+            "skyline",
+            "restart-replay",
+            event.at,
+            f"{reason}; {len(replay)} processed points re-streamed through "
+            "the fresh cache",
+        )
+        return True
+
     # -- single-pass operators -------------------------------------------------
 
     def _run_single_pass(
-        self, query: Query, tables: TableMap, use_cheetah: bool
+        self,
+        query: Query,
+        tables: TableMap,
+        use_cheetah: bool,
+        injector: Optional[FaultInjector] = None,
     ) -> RunResult:
         op = query.operator
         table = tables[op.table]
         columns = query.stream_columns()
+        kind = _op_kind(op)
         registry = MetricsRegistry()
         pruner: Pruner = (
             self._build_pruner(query, tables) if use_cheetah else PassthroughPruner()
@@ -469,7 +747,9 @@ class Cluster:
         phase = PhaseVolume("stream")
         survivors: List[Tuple[int, Tuple]] = []  # (row_id, payload)
         row_base = 0
-        batch_size = self.config.batch_size
+        # Fault injection needs per-entry granularity; force the scalar path.
+        batch_size = self.config.batch_size if injector is None else None
+        chaos = _ChaosState()
         with registry.trace("partition"):
             parts = self._partitions(table)
         with registry.trace("stream"):
@@ -481,6 +761,33 @@ class Cluster:
                         op, part, columns, pruner, where_pruner, phase,
                         survivors, row_base, batch_size,
                     )
+                elif injector is not None:
+                    stream = [
+                        (row_base + offset, payload)
+                        for offset, payload in enumerate(part.iter_rows(columns))
+                    ]
+                    stream = injector.perturb_partition(
+                        stream, injector.cursor, worker, phase.name
+                    )
+                    for row_id, payload in stream:
+                        phase.streamed += 1
+                        for event in injector.advance(1):
+                            self._apply_single_pass_fault(
+                                event, kind, pruner, injector, chaos
+                            )
+                        if chaos.passthrough:
+                            phase.forwarded += 1
+                            survivors.append((row_id, payload))
+                            continue
+                        if (
+                            where_pruner is not None
+                            and where_pruner.process(payload) is PruneDecision.PRUNE
+                        ):
+                            continue
+                        entry = self._payload_to_entry(op, columns, payload)
+                        if pruner.process(entry) is PruneDecision.FORWARD:
+                            phase.forwarded += 1
+                            survivors.append((row_id, payload))
                 else:
                     for offset, payload in enumerate(part.iter_rows(columns)):
                         phase.streamed += 1
@@ -507,7 +814,6 @@ class Cluster:
         with registry.trace("master-complete"):
             output = self._complete_single_pass(query, columns, survivors, pruner)
         _record_phase(registry, phase)
-        kind = _op_kind(op)
         _absorb_pruner(registry, pruner, query=kind, role="primary")
         if where_pruner is not None:
             _absorb_pruner(registry, where_pruner, query=kind, role="where")
@@ -614,7 +920,22 @@ class Cluster:
         survivors: List[Tuple[int, Tuple]],
         pruner: Pruner,
     ) -> object:
-        """The CMaster's completion step for single-pass operators."""
+        """The CMaster's completion step for single-pass operators.
+
+        Survivors are deduplicated by row id first: under fault injection
+        the same row can arrive more than once (duplicated packets, a
+        crashed worker replaying its partition), and a double-counted row
+        would corrupt COUNT/SUM results.  Fault-free streams carry unique
+        row ids, so the dedup is a no-op there.
+        """
+        seen_rows: Set[int] = set()
+        deduped: List[Tuple[int, Tuple]] = []
+        for row_id, payload in survivors:
+            if row_id in seen_rows:
+                continue
+            seen_rows.add(row_id)
+            deduped.append((row_id, payload))
+        survivors = deduped
         op = query.operator
         if isinstance(op, (CountOp, FilterOp)):
             formula = op.predicate.to_formula(columns)
@@ -655,7 +976,13 @@ class Cluster:
 
     # -- JOIN: two passes --------------------------------------------------------
 
-    def _run_join(self, query: Query, tables: TableMap, use_cheetah: bool) -> RunResult:
+    def _run_join(
+        self,
+        query: Query,
+        tables: TableMap,
+        use_cheetah: bool,
+        injector: Optional[FaultInjector] = None,
+    ) -> RunResult:
         op = query.operator
         assert isinstance(op, JoinOp)
         if query.where is not None:
@@ -666,7 +993,7 @@ class Cluster:
         right_col = right.column(op.right_on)
         left_keys = left_col.tolist()
         right_keys = right_col.tolist()
-        batch_size = self.config.batch_size
+        batch_size = self.config.batch_size if injector is None else None
         registry = MetricsRegistry()
         phases = []
         if use_cheetah:
@@ -680,17 +1007,63 @@ class Cluster:
             )
             self._maybe_validate(pruner)
             build = PhaseVolume("join-build", streamed=len(left_keys) + len(right_keys))
+            chaos = _ChaosState()
+            rebuild = PhaseVolume("join-rebuild")
             with registry.trace("join-build"):
                 if batch_size is not None:
                     pruner.build(left_col, right_col)
                 else:
                     pruner.build(left_keys, right_keys)
+                if injector is not None:
+                    # Build-pass entries advance the fault cursor in one
+                    # step; a reboot/bitflip inside the span restarts the
+                    # whole build (re-streamed traffic lands on rebuild).
+                    for event in injector.advance(build.streamed):
+                        self._apply_join_fault(
+                            event, pruner, injector, chaos, rebuild,
+                            left_keys, right_keys, during="build",
+                        )
             phases.append(build)
             probe = PhaseVolume("join-probe")
             left_survivors: List = []
             right_survivors: List = []
             with registry.trace("join-probe"):
-                if batch_size is not None:
+                if injector is not None:
+                    probe_stream = [
+                        (op.table, key, rid)
+                        for rid, key in enumerate(left_keys)
+                    ] + [
+                        (op.right_table, key, len(left_keys) + rid)
+                        for rid, key in enumerate(right_keys)
+                    ]
+                    probe_stream = injector.perturb_partition(
+                        probe_stream, injector.cursor, 0, probe.name
+                    )
+                    seen_rids: Set[int] = set()
+                    for side, key, rid in probe_stream:
+                        probe.streamed += 1
+                        for event in injector.advance(1):
+                            self._apply_join_fault(
+                                event, pruner, injector, chaos, rebuild,
+                                left_keys, right_keys, during="probe",
+                            )
+                        if chaos.passthrough:
+                            forward = True
+                        else:
+                            forward = (
+                                pruner.process((side, key))
+                                is PruneDecision.FORWARD
+                            )
+                        if forward:
+                            probe.forwarded += 1
+                            if rid in seen_rids:
+                                continue  # master dedups replayed probes
+                            seen_rids.add(rid)
+                            if side == op.table:
+                                left_survivors.append(key)
+                            else:
+                                right_survivors.append(key)
+                elif batch_size is not None:
                     # Pass 2, batched: each side probes as column chunks.
                     for side, keys_array, side_survivors in (
                         (op.table, left_col, left_survivors),
@@ -717,10 +1090,10 @@ class Cluster:
                             probe.forwarded += 1
                             right_survivors.append(key)
             phases.append(probe)
-            for phase in (build, probe):
-                self._record_worker_shares(
-                    registry, phase.name, len(left_keys) + len(right_keys)
-                )
+            if rebuild.streamed:
+                phases.append(rebuild)
+            for phase in phases:
+                self._record_worker_shares(registry, phase.name, phase.streamed)
             _absorb_pruner(registry, pruner, query=_op_kind(op), role="primary")
         else:
             stream = PhaseVolume(
@@ -758,7 +1131,11 @@ class Cluster:
     # -- HAVING: sketch pass + partial second pass --------------------------------
 
     def _run_having(
-        self, query: Query, tables: TableMap, use_cheetah: bool
+        self,
+        query: Query,
+        tables: TableMap,
+        use_cheetah: bool,
+        injector: Optional[FaultInjector] = None,
     ) -> RunResult:
         op = query.operator
         assert isinstance(op, HavingOp)
@@ -770,7 +1147,7 @@ class Cluster:
         keys = keys_col.tolist()
         values = values_col.tolist()
         data = list(zip(keys, values))
-        batch_size = self.config.batch_size
+        batch_size = self.config.batch_size if injector is None else None
         registry = MetricsRegistry()
         phases = []
         if use_cheetah:
@@ -784,8 +1161,29 @@ class Cluster:
             self._maybe_validate(pruner)
             sketch_pass = PhaseVolume("having-sketch")
             candidates: Set = set()
+            chaos = _ChaosState()
+            refetch_all = False
             with registry.trace("having-sketch"):
-                if batch_size is not None:
+                if injector is not None:
+                    stream = injector.perturb_partition(
+                        data, injector.cursor, 0, sketch_pass.name
+                    )
+                    for key, value in stream:
+                        sketch_pass.streamed += 1
+                        for event in injector.advance(1):
+                            refetch_all |= self._apply_having_fault(
+                                event, pruner, injector, chaos
+                            )
+                        if chaos.passthrough:
+                            sketch_pass.forwarded += 1
+                            candidates.add(key)
+                            continue
+                        if pruner.process((key, value)) is PruneDecision.FORWARD:
+                            sketch_pass.forwarded += 1
+                            candidates.add(key)
+                    if refetch_all:
+                        candidates.update(key for key, _ in data)
+                elif batch_size is not None:
                     for lo in range(0, len(keys_col), batch_size):
                         key_chunk = keys_col[lo : lo + batch_size]
                         value_chunk = values_col[lo : lo + batch_size]
@@ -806,7 +1204,9 @@ class Cluster:
                 second.streamed = sum(1 for key, _ in data if key in candidates)
                 second.forwarded = second.streamed
             phases.append(second)
-            self._record_worker_shares(registry, sketch_pass.name, len(data))
+            self._record_worker_shares(
+                registry, sketch_pass.name, sketch_pass.streamed
+            )
             self._record_worker_shares(registry, second.name, second.streamed)
             with registry.trace("master-complete"):
                 output = set(
@@ -840,7 +1240,11 @@ class Cluster:
     # -- SKYLINE: stream + drain -------------------------------------------------
 
     def _run_skyline(
-        self, query: Query, tables: TableMap, use_cheetah: bool
+        self,
+        query: Query,
+        tables: TableMap,
+        use_cheetah: bool,
+        injector: Optional[FaultInjector] = None,
     ) -> RunResult:
         op = query.operator
         assert isinstance(op, SkylineOp)
@@ -853,7 +1257,7 @@ class Cluster:
         ]
         phase = PhaseVolume("skyline-stream")
         received: List[Tuple[float, ...]] = []
-        batch_size = self.config.batch_size
+        batch_size = self.config.batch_size if injector is None else None
         registry = MetricsRegistry()
         pruner = None
         if use_cheetah:
@@ -864,7 +1268,36 @@ class Cluster:
             )
             self._maybe_validate(pruner)
             with registry.trace("skyline-stream"):
-                if batch_size is not None:
+                if injector is not None:
+                    chaos = _ChaosState()
+                    queue = injector.perturb_partition(
+                        points, injector.cursor, 0, phase.name
+                    )
+                    replay: List[Tuple[float, ...]] = []
+                    index = 0
+                    while index < len(queue):
+                        point = queue[index]
+                        index += 1
+                        phase.streamed += 1
+                        for event in injector.advance(1):
+                            if self._apply_skyline_fault(
+                                event, pruner, injector, chaos, replay
+                            ):
+                                # Restart: the processed prefix re-enters
+                                # the work queue behind the remainder.
+                                queue.extend(replay)
+                                replay = []
+                        if chaos.passthrough:
+                            phase.forwarded += 1
+                            received.append(point)
+                            continue
+                        replay.append(point)
+                        if pruner.process(point) is PruneDecision.FORWARD:
+                            phase.forwarded += 1
+                            carried = pruner.last_carried
+                            assert carried is not None
+                            received.append(carried)
+                elif batch_size is not None:
                     point_matrix = np.asarray(points, dtype=np.float64).reshape(
                         -1, len(columns)
                     )
@@ -892,7 +1325,7 @@ class Cluster:
             phase.streamed = len(points)
             phase.forwarded = len(points)
             received = points
-        self._record_worker_shares(registry, phase.name, len(points))
+        self._record_worker_shares(registry, phase.name, phase.streamed)
         with registry.trace("master-complete"):
             output = set(master_skyline(received))
         _record_phase(registry, phase)

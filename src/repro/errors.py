@@ -37,5 +37,14 @@ class ProtocolError(CheetahError):
     """The reliability protocol observed an impossible state transition."""
 
 
+class ChecksumError(ProtocolError):
+    """A framed packet failed its CRC check (corrupted in transit).
+
+    Raised by :meth:`repro.net.packets.CheetahPacket.decode_frame`; the
+    transport treats it exactly like a link drop — the frame is discarded
+    before the master's decode path and the per-packet timer retransmits.
+    """
+
+
 class PlanError(CheetahError):
     """A logical query plan is malformed or references unknown columns."""

@@ -1,0 +1,46 @@
+"""Deterministic fault injection for the Cheetah reproduction.
+
+The subsystem has three layers:
+
+* :mod:`repro.faults.plan` — the *schedule*: a :class:`FaultPlan` is an
+  immutable, seed-derived list of :class:`FaultEvent` records ("at entry
+  102, reboot the switch"), plus the named scenarios the ``repro chaos``
+  CLI replays;
+* :mod:`repro.faults.injector` — the *executor*: a :class:`FaultInjector`
+  walks a plan against a run, perturbs streams, fires switch events, and
+  records every injection and degradation into a metrics registry;
+* :mod:`repro.faults.links` — fault-injecting link models for the
+  reliability transports (:class:`ChaosLink`).
+
+Everything is driven by ``random.Random(seed)`` — the same plan and seed
+always produce byte-identical fault sequences, which is what makes the
+chaos property suite and the ``repro chaos`` CLI reproducible.
+"""
+
+from .injector import FaultInjector
+from .links import ChaosLink
+from .plan import (
+    FAULT_KINDS,
+    LINK_FAULTS,
+    SWITCH_FAULTS,
+    WORKER_FAULTS,
+    ChaosScenario,
+    FaultEvent,
+    FaultPlan,
+    SCENARIOS,
+    scenario,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "LINK_FAULTS",
+    "SWITCH_FAULTS",
+    "WORKER_FAULTS",
+    "ChaosLink",
+    "ChaosScenario",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "SCENARIOS",
+    "scenario",
+]

@@ -8,6 +8,7 @@ from .packets import (
     MAX_VALUES,
     CheetahAck,
     CheetahPacket,
+    frame_checksum,
 )
 from .reliability import (
     GilbertElliottLink,
@@ -18,6 +19,7 @@ from .reliability import (
     TransferStats,
     packets_for,
 )
+from .timed import TimedReliableTransfer
 from .services import CMaster, CWorker, FlowState, ValueCodec, stream_query_columns
 
 __all__ = [
@@ -33,7 +35,9 @@ __all__ = [
     "MultiFlowTransfer",
     "ReliableTransfer",
     "SwitchReliabilityState",
+    "TimedReliableTransfer",
     "TransferStats",
+    "frame_checksum",
     "packets_for",
     "CMaster",
     "CWorker",

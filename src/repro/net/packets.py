@@ -9,14 +9,22 @@ bytes so the formats are genuinely wire-shaped, not just dataclasses.
 from __future__ import annotations
 
 import struct
+import zlib
 from dataclasses import dataclass, field
 from typing import Tuple
 
-from ..errors import ProtocolError
+from ..errors import ChecksumError, ProtocolError
 
 #: Header layout: fid (16b), seq (32b), flags (8b), n (8b).
 _HEADER = struct.Struct("!HIBB")
 _VALUE = struct.Struct("!q")
+#: Frame trailer: a CRC-32 over header + values (fault-tolerant transport).
+_CHECKSUM = struct.Struct("!I")
+
+
+def frame_checksum(body: bytes) -> int:
+    """CRC-32 of an encoded packet body — the frame's trailer value."""
+    return zlib.crc32(body) & 0xFFFFFFFF
 
 FLAG_FIN = 0x01
 FLAG_RETRANSMIT = 0x02
@@ -74,6 +82,33 @@ class CheetahPacket:
             fin=bool(flags & FLAG_FIN),
             retransmit=bool(flags & FLAG_RETRANSMIT),
         )
+
+    def encode_frame(self) -> bytes:
+        """Serialize with a CRC-32 trailer (:func:`frame_checksum`).
+
+        The checksummed frame is what the fault-tolerant transport puts
+        on the wire, so bit corruption is *detected* at the receiver and
+        the frame dropped — it never reaches the decode path silently.
+        """
+        body = self.encode()
+        return body + _CHECKSUM.pack(frame_checksum(body))
+
+    @classmethod
+    def decode_frame(cls, data: bytes) -> "CheetahPacket":
+        """Parse bytes produced by :meth:`encode_frame`, verifying the CRC.
+
+        Raises :class:`~repro.errors.ChecksumError` when the trailer does
+        not match the body — the caller must treat the frame as lost.
+        """
+        if len(data) < _HEADER.size + _CHECKSUM.size:
+            raise ChecksumError(f"frame too short: {len(data)} bytes")
+        body, trailer = data[: -_CHECKSUM.size], data[-_CHECKSUM.size :]
+        if _CHECKSUM.unpack(trailer)[0] != frame_checksum(body):
+            raise ChecksumError("frame checksum mismatch (corrupted in transit)")
+        try:
+            return cls.decode(body)
+        except ProtocolError as error:  # pragma: no cover - CRC catches first
+            raise ChecksumError(f"frame body undecodable: {error}") from error
 
     def as_retransmit(self) -> "CheetahPacket":
         """A copy flagged as a retransmission."""

@@ -95,6 +95,10 @@ class TransferStats:
     master_acks: int = 0
     master_received: int = 0
     duplicates_at_master: int = 0
+    #: Frames the receiver discarded on a CRC mismatch (timed transport).
+    checksum_drops: int = 0
+    #: Per-packet timer expirations (timed transport).
+    timeouts: int = 0
 
     def summary(self) -> str:
         """One-line human-readable summary."""
@@ -105,7 +109,66 @@ class TransferStats:
         )
 
 
-class ReliableTransfer:
+#: Builds one link from the transfer's shared RNG; called once per hop.
+LinkFactory = Callable[[random.Random], LossyLink]
+
+
+class TransferBase:
+    """Shared plumbing for every transfer variant.
+
+    Owns the four links (built by one ``link_factory`` sharing a single
+    RNG, so loss patterns across hops stay reproducible), the switch
+    protocol state, the window validation every variant must perform,
+    and the master-side receive bookkeeping (arrival order, per-``(fid,
+    seq)`` dedup, duplicate counting).
+    """
+
+    def __init__(
+        self,
+        pruner: Pruner,
+        decode_entry: Optional[Callable[[CheetahPacket], object]] = None,
+        loss: float = 0.0,
+        seed: int = 0,
+        max_rounds: int = 10_000,
+        window: Optional[int] = None,
+        link_factory: Optional[LinkFactory] = None,
+    ) -> None:
+        if window is not None and window <= 0:
+            raise ProtocolError(f"window must be positive, got {window}")
+        rng = random.Random(seed)
+        factory = link_factory or (lambda r: LossyLink(loss, r))
+        self.switch = SwitchReliabilityState(pruner)
+        self.uplink = factory(rng)
+        self.downlink = factory(rng)
+        self.ack_switch_link = factory(rng)
+        self.ack_master_link = factory(rng)
+        self.max_rounds = max_rounds
+        self.window = window
+        self._decode = decode_entry or _default_decode
+        self.stats = TransferStats()
+        self.master_entries: List[object] = []
+        self.master_unique_entries: List[object] = []
+        self.master_unique_packets: List[CheetahPacket] = []
+        self._master_seen_seqs: Dict[Tuple[int, int], int] = {}
+
+    def _master_receive(self, packet: CheetahPacket) -> None:
+        """Master-side ingest: record arrival, dedupe by ``(fid, seq)``."""
+        key = (packet.fid, packet.seq)
+        entry = self._decode(packet) if packet.values else None
+        if key in self._master_seen_seqs:
+            self.stats.duplicates_at_master += 1
+        else:
+            # The CMaster dedupes by (fid, seq): a retransmitted copy of an
+            # already-received entry must not be double-counted.
+            if packet.values:
+                self.master_unique_entries.append(entry)
+            self.master_unique_packets.append(packet)
+        self._master_seen_seqs[key] = self._master_seen_seqs.get(key, 0) + 1
+        self.stats.master_received += 1
+        self.master_entries.append(entry)
+
+
+class ReliableTransfer(TransferBase):
     """Drive one worker's stream through the switch to the master.
 
     Parameters
@@ -131,33 +194,14 @@ class ReliableTransfer:
         unbounded window wastes transmissions after an early loss; a
         modest window models the pacing a real CWorker does with its
         per-packet timers.
+    link_factory:
+        Optional callable building each of the four links from the
+        transfer's shared RNG — inject a
+        :class:`GilbertElliottLink` or a
+        :class:`~repro.faults.links.ChaosLink` here instead of
+        assigning over the ``uplink``/... attributes.  When given,
+        ``loss`` is ignored.
     """
-
-    def __init__(
-        self,
-        pruner: Pruner,
-        decode_entry: Optional[Callable[[CheetahPacket], object]] = None,
-        loss: float = 0.0,
-        seed: int = 0,
-        max_rounds: int = 10_000,
-        window: Optional[int] = None,
-    ) -> None:
-        rng = random.Random(seed)
-        self.switch = SwitchReliabilityState(pruner)
-        self.uplink = LossyLink(loss, rng)
-        self.downlink = LossyLink(loss, rng)
-        self.ack_switch_link = LossyLink(loss, rng)
-        self.ack_master_link = LossyLink(loss, rng)
-        self.max_rounds = max_rounds
-        if window is not None and window <= 0:
-            raise ProtocolError(f"window must be positive, got {window}")
-        self.window = window
-        self._decode = decode_entry or _default_decode
-        self.stats = TransferStats()
-        self.master_entries: List[object] = []
-        self.master_unique_entries: List[object] = []
-        self.master_unique_packets: List[CheetahPacket] = []
-        self._master_seen_seqs: Dict[Tuple[int, int], int] = {}
 
     def run(self, packets: List[CheetahPacket]) -> List[object]:
         """Transfer ``packets`` (in seq order) until all are ACKed.
@@ -207,20 +251,6 @@ class ReliableTransfer:
                 unacked.pop(seq, None)
             first_attempt = False
         return self.master_entries
-
-    def _master_receive(self, packet: CheetahPacket) -> None:
-        key = (packet.fid, packet.seq)
-        entry = self._decode(packet) if packet.values else None
-        if key in self._master_seen_seqs:
-            self.stats.duplicates_at_master += 1
-        else:
-            # The CMaster dedupes by (fid, seq): a retransmitted copy of an
-            # already-received entry must not be double-counted.
-            self.master_unique_entries.append(entry)
-            self.master_unique_packets.append(packet)
-        self._master_seen_seqs[key] = self._master_seen_seqs.get(key, 0) + 1
-        self.stats.master_received += 1
-        self.master_entries.append(entry)
 
 
 def _default_decode(packet: CheetahPacket) -> object:
@@ -302,7 +332,7 @@ class GilbertElliottLink(LossyLink):
         return self._bad_state
 
 
-class MultiFlowTransfer:
+class MultiFlowTransfer(TransferBase):
     """Several workers' flows interleaved through one switch (§3's rack).
 
     Each worker owns a fid and its own retransmission queue; the switch
@@ -312,31 +342,11 @@ class MultiFlowTransfer:
     not just within one.
 
     Transmission interleaves round-robin across flows, so pruner state
-    observes a realistic mix rather than one worker at a time.
+    observes a realistic mix rather than one worker at a time.  Accepts
+    the same constructor parameters as :class:`ReliableTransfer`
+    (``window`` validation and ``link_factory`` injection included —
+    both live on the shared :class:`TransferBase`).
     """
-
-    def __init__(
-        self,
-        pruner: Pruner,
-        decode_entry: Optional[Callable[[CheetahPacket], object]] = None,
-        loss: float = 0.0,
-        seed: int = 0,
-        max_rounds: int = 10_000,
-        window: Optional[int] = None,
-    ) -> None:
-        rng = random.Random(seed)
-        self.switch = SwitchReliabilityState(pruner)
-        self.uplink = LossyLink(loss, rng)
-        self.downlink = LossyLink(loss, rng)
-        self.ack_switch_link = LossyLink(loss, rng)
-        self.ack_master_link = LossyLink(loss, rng)
-        self.max_rounds = max_rounds
-        self.window = window
-        self._decode = decode_entry or _default_decode
-        self.stats = TransferStats()
-        self.master_unique_entries: List[object] = []
-        self.master_unique_packets: List[CheetahPacket] = []
-        self._master_seen: Dict[Tuple[int, int], bool] = {}
 
     def run(self, flows: Dict[int, List[CheetahPacket]]) -> List[object]:
         """Transfer every flow to completion; returns deduped entries.
@@ -389,7 +399,7 @@ class MultiFlowTransfer:
                     continue
                 if not self.downlink.deliver():
                     continue
-                self._receive(packet)
+                self._master_receive(packet)
                 self.stats.master_acks += 1
                 if self.ack_master_link.deliver():
                     acked_now.append((fid, seq))
@@ -397,17 +407,6 @@ class MultiFlowTransfer:
                 unacked[fid].pop(seq, None)
             first_attempt = False
         return self.master_unique_entries
-
-    def _receive(self, packet: CheetahPacket) -> None:
-        key = (packet.fid, packet.seq)
-        self.stats.master_received += 1
-        if key in self._master_seen:
-            self.stats.duplicates_at_master += 1
-            return
-        self._master_seen[key] = True
-        if packet.values:
-            self.master_unique_entries.append(self._decode(packet))
-        self.master_unique_packets.append(packet)
 
 
 def _roundrobin(slices: List[List]) -> List:

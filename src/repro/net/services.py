@@ -27,7 +27,7 @@ from fractions import Fraction
 import numpy as np
 
 from ..engine.table import Table
-from ..errors import ProtocolError
+from ..errors import ChecksumError, ProtocolError
 from ..sketches.hashing import hash64
 from .packets import CheetahPacket
 
@@ -147,6 +147,23 @@ class CMaster:
     def __init__(self, expected_fids: Iterable[int], codec: Optional[ValueCodec] = None) -> None:
         self.codec = codec or ValueCodec()
         self.flows: Dict[int, FlowState] = {fid: FlowState() for fid in expected_fids}
+        #: Frames rejected by :meth:`receive_frame` on a CRC mismatch.
+        self.checksum_drops = 0
+
+    def receive_frame(self, frame: bytes) -> bool:
+        """Ingest a checksummed wire frame; corrupted frames never decode.
+
+        The CRC check happens *before* :meth:`receive` touches the bytes,
+        so a corrupted frame is counted and discarded (returns False, the
+        transport's timer will retransmit) rather than decoded into a
+        wrong row.
+        """
+        try:
+            packet = CheetahPacket.decode_frame(frame)
+        except ChecksumError:
+            self.checksum_drops += 1
+            return False
+        return self.receive(packet)
 
     def receive(self, packet: CheetahPacket) -> bool:
         """Ingest one packet; returns True if it carried a new entry."""

@@ -122,6 +122,20 @@ class BloomFilter:
             self._words[i] = 0
         self._inserted = 0
 
+    def flip_bit(self, index: int) -> bool:
+        """Invert one filter bit (fault injection); returns its new value.
+
+        Setting a clear bit only adds a false positive (superset-safe);
+        clearing a *set* bit can create a false negative — the failure
+        mode that makes JOIN reboot-unsafe in Table 4.
+        """
+        if not 0 <= index < self.size_bits:
+            raise ConfigurationError(
+                f"bit index {index} out of range [0, {self.size_bits})"
+            )
+        self._words[index >> 3] ^= 1 << (index & 7)
+        return bool(self._words[index >> 3] & (1 << (index & 7)))
+
     @property
     def inserted(self) -> int:
         """Number of ``add`` calls (duplicates included)."""
@@ -254,6 +268,16 @@ class RegisterBloomFilter:
         """Reset all registers to zero."""
         self._registers = np.zeros(self._num_words, dtype=np.uint64)
         self._inserted = 0
+
+    def flip_bit(self, index: int) -> bool:
+        """Invert one register bit (fault injection); returns its new value."""
+        if not 0 <= index < self.size_bits:
+            raise ConfigurationError(
+                f"bit index {index} out of range [0, {self.size_bits})"
+            )
+        word, bit = divmod(index, _WORD_BITS)
+        self._registers[word] ^= np.uint64(1 << bit)
+        return bool(int(self._registers[word]) & (1 << bit))
 
     @property
     def inserted(self) -> int:

@@ -141,6 +141,23 @@ class CacheMatrix:
         self.misses = 0
         self.evictions = 0
 
+    def corrupt_cell(self, row: int, col: int, garbage: object) -> str:
+        """Overwrite one cell with a phantom value (fault injection).
+
+        A phantom cached value makes the matrix claim it has "seen" an
+        entry it never did — for DISTINCT that wrongly prunes the first
+        real occurrence, which is why injected corruption is escalated to
+        a reboot rather than left in place.
+        """
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise ConfigurationError(
+                f"cell ({row}, {col}) out of range for {self.rows}x{self.cols}"
+            )
+        previous = self._cells[row][col]
+        self._cells[row][col] = garbage
+        was = "empty" if previous is _EMPTY else repr(previous)
+        return f"cache[{row}][{col}] {was} -> {garbage!r}"
+
     def observe_health(self, registry, **labels: object) -> None:
         """Publish occupancy, fill ratio, and hit/eviction totals as gauges."""
         registry.gauge(
@@ -262,6 +279,24 @@ class RollingMinMatrix:
         self._cells = [[None] * self.cols for _ in range(self.rows)]
         self.offers = 0
         self.rejected = 0
+
+    def corrupt_cell(self, row: int, col: int, value: float) -> str:
+        """Overwrite one stored minimum with ``value`` (fault injection).
+
+        The row is re-sorted descending afterwards so the matrix's
+        invariant holds; a huge phantom value raises the row minimum and
+        can wrongly prune genuine top-N entries.
+        """
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise ConfigurationError(
+                f"cell ({row}, {col}) out of range for {self.rows}x{self.cols}"
+            )
+        previous = self._cells[row][col]
+        kept = [cell for i, cell in enumerate(self._cells[row]) if i != col and cell is not None]
+        kept.append(float(value))
+        kept.sort(reverse=True)
+        self._cells[row] = kept + [None] * (self.cols - len(kept))
+        return f"rollingmin[{row}][{col}] {previous!r} -> {value!r}"
 
     def observe_health(self, registry, **labels: object) -> None:
         """Publish occupancy and offer/reject totals as gauges."""
@@ -387,6 +422,21 @@ class KeyedAggregateMatrix:
         self._cells = [[None] * self.cols for _ in range(self.rows)]
         self.hits = 0
         self.updates = 0
+
+    def corrupt_cell(self, row: int, col: int, key: object, aggregate: float) -> str:
+        """Overwrite one cell with a phantom ``(key, aggregate)`` pair.
+
+        A phantom group can shadow a real key's slot and absorb its
+        updates under a wrong aggregate — undetectable downstream, hence
+        escalated to a reboot by the degradation policy.
+        """
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise ConfigurationError(
+                f"cell ({row}, {col}) out of range for {self.rows}x{self.cols}"
+            )
+        previous = self._cells[row][col]
+        self._cells[row][col] = (key, float(aggregate))
+        return f"groupby[{row}][{col}] {previous!r} -> ({key!r}, {aggregate!r})"
         self.inserts = 0
         self.evictions = 0
 

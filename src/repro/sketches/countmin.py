@@ -169,6 +169,23 @@ class CountMinSketch:
         self._rows = np.zeros((self.depth, self.width), dtype=np.int64)
         self._total = 0
 
+    def corrupt_cell(self, row: int, col: int, bit: int) -> int:
+        """XOR one bit of a counter (fault injection); returns the new value.
+
+        Flipping a high bit can inflate an estimate (false candidates —
+        superset-safe) or, by two's-complement wraparound on a set bit,
+        deflate it below the true sum — the silent-wrong-answer mode the
+        degradation policy must guard against.
+        """
+        if not (0 <= row < self.depth and 0 <= col < self.width):
+            raise ConfigurationError(
+                f"cell ({row}, {col}) out of range for {self.depth}x{self.width}"
+            )
+        if not 0 <= bit < 63:
+            raise ConfigurationError(f"bit must be in [0, 63), got {bit}")
+        self._rows[row][col] ^= np.int64(1) << np.int64(bit)
+        return int(self._rows[row][col])
+
     @property
     def total(self) -> int:
         """Sum of all amounts added across keys."""

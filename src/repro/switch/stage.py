@@ -43,6 +43,19 @@ class RegisterArray:
         """Zero the whole array."""
         self._cells = [0] * self.size
 
+    def flip_bit(self, index: int, bit: int) -> int:
+        """XOR one bit of one register (fault injection); returns the value."""
+        if not 0 <= index < self.size:
+            raise ConfigurationError(
+                f"register index {index} out of range [0, {self.size})"
+            )
+        if not 0 <= bit < self.width_bits:
+            raise ConfigurationError(
+                f"bit {bit} out of range [0, {self.width_bits})"
+            )
+        self._cells[index] ^= 1 << bit
+        return self._cells[index]
+
     @property
     def sram_bits(self) -> int:
         """SRAM consumed by this array."""
@@ -108,6 +121,22 @@ class Stage:
     def table(self, name: str) -> MatchActionTable:
         """Fetch a previously created table."""
         return self._tables[name]
+
+    def corrupt_register(self, rng) -> Optional[str]:
+        """Flip one random bit across this stage's register arrays.
+
+        ``rng`` is a seeded ``random.Random``; returns a description of
+        the flipped bit, or ``None`` when the stage holds no registers
+        (the flip landed in unallocated SRAM).
+        """
+        if not self._arrays:
+            return None
+        name = rng.choice(sorted(self._arrays))
+        array = self._arrays[name]
+        index = rng.randrange(array.size)
+        bit = rng.randrange(array.width_bits)
+        value = array.flip_bit(index, bit)
+        return f"stage {self.index} reg {name}[{index}] bit {bit} -> {value:#x}"
 
     # -- packet-time operations -------------------------------------------
 

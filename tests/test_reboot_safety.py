@@ -40,6 +40,28 @@ def _run_with_reboot(pruner, stream, reboot_at):
     return survivors
 
 
+def _run_with_reboot_batched(pruner, stream, reboot_at, chunk=256):
+    """Batched twin of :func:`_run_with_reboot`.
+
+    Feeds the stream through ``process_batch`` in ``chunk``-sized slices,
+    injecting the reboot (``reset()``) at entry ``reboot_at`` exactly as
+    the scalar helper does — the reboot may land mid-chunk, in which case
+    the chunk is split around it.
+    """
+    survivors = []
+    spans = [(0, reboot_at), (reboot_at, len(stream))]
+    for lo, hi in spans:
+        if lo == reboot_at:
+            pruner.reset()  # reboot with empty state
+        for start in range(lo, hi, chunk):
+            piece = stream[start : min(start + chunk, hi)]
+            if not piece:
+                continue
+            keep = pruner.process_batch(piece)
+            survivors.extend(entry for entry, k in zip(piece, keep) if k)
+    return survivors
+
+
 class TestRebootSafeOperators:
     def test_distinct_survives_reboot(self):
         stream = random_order_stream(4000, 300, seed=1)
@@ -75,6 +97,63 @@ class TestRebootSafeOperators:
             pruner = DistinctPruner(rows=16, cols=2)
             survivors = _run_with_reboot(pruner, stream, reboot_at)
             assert set(master_distinct(survivors)) == set(stream)
+
+
+class TestRebootSafeOperatorsBatched:
+    """Same TABLE4 classification, exercised through ``process_batch``.
+
+    The batch dataplane must inherit the reboot-safety analysis verbatim:
+    a reboot between (or inside) batches behaves exactly like one between
+    scalar entries.
+    """
+
+    def test_distinct_survives_reboot_batched(self):
+        stream = random_order_stream(4000, 300, seed=1)
+        pruner = DistinctPruner(rows=64, cols=2)
+        survivors = _run_with_reboot_batched(pruner, stream, reboot_at=2000)
+        assert set(master_distinct(survivors)) == set(stream)
+
+    def test_topn_deterministic_survives_reboot_batched(self):
+        rng = random.Random(2)
+        stream = [rng.uniform(1, 10_000) for _ in range(3000)]
+        pruner = TopNDeterministicPruner(n=40, thresholds=4)
+        survivors = _run_with_reboot_batched(pruner, stream, reboot_at=1500)
+        assert sorted(master_topn(survivors, 40)) == sorted(master_topn(stream, 40))
+
+    def test_topn_randomized_survives_reboot_batched(self):
+        rng = random.Random(3)
+        stream = [rng.uniform(1, 10_000) for _ in range(3000)]
+        pruner = TopNRandomizedPruner(n=30, rows=512, delta=1e-4, seed=4)
+        survivors = _run_with_reboot_batched(pruner, stream, reboot_at=1500)
+        assert sorted(master_topn(survivors, 30)) == sorted(master_topn(stream, 30))
+
+    def test_groupby_survives_reboot_batched(self):
+        stream = list(keyed_values(4000, 150, seed=5))
+        pruner = GroupByPruner(rows=64, cols=4)
+        survivors = _run_with_reboot_batched(pruner, stream, reboot_at=2000)
+        assert master_groupby(survivors, "max") == master_groupby(stream, "max")
+
+    def test_mid_chunk_reboot_distinct(self):
+        # reboot_at deliberately NOT on a chunk boundary
+        stream = random_order_stream(1000, 100, seed=6)
+        for reboot_at in (1, 131, 999):
+            pruner = DistinctPruner(rows=16, cols=2)
+            survivors = _run_with_reboot_batched(
+                pruner, stream, reboot_at, chunk=128
+            )
+            assert set(master_distinct(survivors)) == set(stream)
+
+    def test_join_breaks_on_reboot_batched(self):
+        # The batch probe inherits JOIN's restart-required classification:
+        # an emptied Bloom filter prunes genuinely matching keys.
+        left, right = [1, 2, 3], [2, 3, 4]
+        pruner = JoinPruner("L", "R", memory_bits=1 << 12)
+        pruner.build(left, right)
+        assert pruner.process_batch([("L", 2)])[0]
+        pruner.reset()
+        pruner.seal()  # naive continuation without rebuilding
+        keep = pruner.process_batch([("L", 2), ("L", 3)])
+        assert not keep.any()  # wrong! matching keys pruned
 
 
 class TestRestartRequiredOperators:

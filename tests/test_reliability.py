@@ -214,12 +214,18 @@ class TestGilbertElliottLink:
 
         rng = random.Random(5)
         entries = [rng.randrange(50) for _ in range(150)]
-        transfer = ReliableTransfer(DistinctPruner(rows=8, cols=2), seed=7)
-        shared_rng = random.Random(11)
-        transfer.uplink = GilbertElliottLink(shared_rng)
-        transfer.downlink = GilbertElliottLink(shared_rng)
-        transfer.ack_switch_link = GilbertElliottLink(shared_rng)
-        transfer.ack_master_link = GilbertElliottLink(shared_rng)
+        # The factory swaps every hop to a bursty link; all four share the
+        # transfer's seeded RNG, as the default LossyLink wiring does.
+        transfer = ReliableTransfer(
+            DistinctPruner(rows=8, cols=2),
+            seed=7,
+            link_factory=lambda link_rng: GilbertElliottLink(link_rng),
+        )
+        assert all(
+            isinstance(link, GilbertElliottLink)
+            for link in (transfer.uplink, transfer.downlink,
+                         transfer.ack_switch_link, transfer.ack_master_link)
+        )
         transfer.run(packets_for(entries))
         delivered = transfer.master_unique_entries
         assert set(master_distinct(delivered)) == set(entries)

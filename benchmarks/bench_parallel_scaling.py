@@ -1,0 +1,117 @@
+"""Multi-core scaling of the sharded dataplane (engineering figure).
+
+Runs the two headline workloads — a 1M-entry FILTER and a 1M-entry
+TOP N — through the cluster at ``parallelism`` 1, 2 and 4 and reports
+wall-time, throughput, and speedup relative to the sequential batched
+path.  Outputs are asserted identical across parallelism levels before
+any number is recorded, so the table only ever shows correct runs.
+
+Honesty notes baked into the artifact: the host's ``os.cpu_count()`` is
+recorded alongside the figures (speedup beyond the physical core count
+is not expected), and the row count is ``CHEETAH_BENCH_N`` (default
+1,000,000) so CI can run the same test as a small smoke.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.engine.cluster import Cluster, ClusterConfig
+from repro.engine.expressions import col
+from repro.engine.plan import FilterOp, Query, TopNOp
+from repro.engine.table import Table
+
+from _harness import emit, table
+
+BENCH_N = int(os.environ.get("CHEETAH_BENCH_N", "1000000"))
+BATCH_SIZE = int(os.environ.get("CHEETAH_BENCH_BATCH", "65536"))
+PARALLELISMS = (1, 2, 4)
+REPS = int(os.environ.get("CHEETAH_BENCH_REPS", "2"))
+
+
+def _tables() -> dict:
+    rng = np.random.default_rng(7)
+    return {
+        "UserVisits": Table(
+            "UserVisits",
+            {"duration": rng.integers(0, 10_000, BENCH_N)},
+        )
+    }
+
+
+def _workloads():
+    # FILTER at ~1% selectivity; deterministic TOP N over the same column.
+    return [
+        ("filter", Query(FilterOp("UserVisits", col("duration") > 9900))),
+        ("topn", Query(TopNOp("UserVisits", "duration", 250))),
+    ]
+
+
+def _timed_run(query, tables, parallelism):
+    config = ClusterConfig(
+        batch_size=BATCH_SIZE, parallelism=parallelism, topn_randomized=False
+    )
+    cluster = Cluster(workers=8, config=config)
+    best, output = float("inf"), None
+    for _ in range(REPS):
+        start = time.perf_counter()
+        result = cluster.run(query, tables)
+        best = min(best, time.perf_counter() - start)
+        output = result.output
+    return best, output
+
+
+def test_parallel_scaling_report():
+    """Time each workload at every parallelism level; emit the table."""
+    tables = _tables()
+    rows = []
+    figures = {
+        "entries": BENCH_N,
+        "cpu_count": os.cpu_count(),
+        "workloads": {},
+    }
+    for name, query in _workloads():
+        baseline_s, baseline_out = _timed_run(query, tables, 1)
+        per_level = {}
+        for parallelism in PARALLELISMS:
+            if parallelism == 1:
+                seconds, output = baseline_s, baseline_out
+            else:
+                seconds, output = _timed_run(query, tables, parallelism)
+                assert output == baseline_out, (
+                    f"{name}: parallelism={parallelism} output diverges"
+                )
+            speedup = baseline_s / seconds
+            per_level[str(parallelism)] = {
+                "seconds": seconds,
+                "entries_per_s": BENCH_N / seconds,
+                "speedup": speedup,
+            }
+            rows.append(
+                [
+                    name,
+                    f"{BENCH_N:,}",
+                    parallelism,
+                    f"{seconds:.3f}",
+                    f"{BENCH_N / seconds:,.0f}",
+                    f"{speedup:.2f}x",
+                ]
+            )
+        figures["workloads"][name] = per_level
+    lines = table(
+        ["workload", "entries", "parallelism", "seconds", "entries/s", "speedup"],
+        rows,
+    )
+    lines.append("")
+    lines.append(
+        f"host cpu_count={os.cpu_count()}  batch={BATCH_SIZE}  "
+        f"best-of-{REPS} wall times; speedup is vs parallelism=1 on this host"
+    )
+    emit("parallel_scaling", lines, figures)
+
+
+if __name__ == "__main__":
+    test_parallel_scaling_report()

@@ -48,6 +48,13 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="UserVisits rows to generate (default 40000)")
     query.add_argument("--workers", type=int, default=5,
                        help="cluster workers (default 5)")
+    query.add_argument("--parallelism", type=int, default=1,
+                       help="shard processes for the dataplane (default 1: "
+                            "sequential; >1 runs repro.parallel)")
+    query.add_argument("--batch-size", type=int, default=None,
+                       help="vectorized batch size (default: scalar "
+                            "streaming sequentially, 65536 per shard when "
+                            "--parallelism > 1)")
     query.add_argument("--seed", type=int, default=0, help="workload seed")
     query.add_argument("--network-gbps", type=float, default=10.0,
                        help="NIC limit for the cost model (default 10)")
@@ -114,7 +121,16 @@ def _cmd_query(args: argparse.Namespace) -> int:
     query = parse(args.sql)
     if "SKYLINE" in args.sql.upper():
         tables["Rankings"] = bigdata.permuted(tables["Rankings"], seed=args.seed)
-    cluster = Cluster(workers=args.workers)
+    from .engine.cluster import ClusterConfig
+
+    cluster = Cluster(
+        workers=args.workers,
+        config=ClusterConfig(
+            batch_size=args.batch_size,
+            parallelism=args.parallelism,
+            seed=args.seed,
+        ),
+    )
     if args.no_verify:
         result = cluster.run(query, tables)
     else:

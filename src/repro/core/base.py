@@ -281,7 +281,9 @@ class Pruner(ABC, Generic[Entry]):
 
     def validate(self, model: ResourceModel = TOFINO) -> None:
         """Raise ``ResourceError`` when this pruner does not fit ``model``."""
-        self.footprint().check_fits(model)
+        from ..switch.compiler import check_fits_cached
+
+        check_fits_cached(self.footprint(), model)
 
     # -- batch dataplane -----------------------------------------------------
 

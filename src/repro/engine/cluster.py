@@ -186,9 +186,19 @@ class ClusterConfig:
     dataplane: workers hand the pruner column slices of up to this many
     rows instead of one-entry packets.  Decisions, outputs and phase
     volumes are identical to the scalar path (``None``, the default).
+
+    ``parallelism`` > 1 executes Cheetah runs across that many OS
+    processes (:mod:`repro.parallel`), each owning one pruner shard laid
+    out by ``shard_policy`` (``"auto"``: multiswitch hash partitioning
+    for keyed stateful operators, contiguous replicas otherwise).  Runs
+    fall back to this sequential path when a fault plan is active,
+    shared memory is unavailable, or the run is a baseline
+    (``use_cheetah=False``).
     """
 
     batch_size: Optional[int] = None
+    parallelism: int = 1
+    shard_policy: str = "auto"
     distinct_rows: int = 4096
     distinct_cols: int = 2
     distinct_policy: str = "lru"
@@ -231,6 +241,15 @@ class ClusterConfig:
                 f"degrade_policy must be 'auto', 'rebuild' or 'passthrough', "
                 f"got {self.degrade_policy!r}"
             )
+        if self.parallelism < 1:
+            raise ConfigurationError(
+                f"parallelism must be >= 1, got {self.parallelism}"
+            )
+        if self.shard_policy not in ("auto", "contiguous", "hash"):
+            raise ConfigurationError(
+                f"shard_policy must be 'auto', 'contiguous' or 'hash', "
+                f"got {self.shard_policy!r}"
+            )
     model: ResourceModel = TOFINO
     validate_resources: bool = True
 
@@ -265,6 +284,14 @@ class Cluster:
         injector: Optional[FaultInjector] = None
         if use_cheetah and self.config.fault_plan is not None:
             injector = FaultInjector(self.config.fault_plan)
+        if use_cheetah and self.config.parallelism > 1 and injector is None:
+            from ..errors import SharedMemoryUnavailable
+            from ..parallel.runner import run_parallel
+
+            try:
+                return run_parallel(self, query, tables)
+            except SharedMemoryUnavailable:
+                pass  # no shared memory here; the sequential path is exact
         if isinstance(operator, JoinOp):
             result = self._run_join(query, tables, use_cheetah, injector)
         elif isinstance(operator, HavingOp):
@@ -391,24 +418,45 @@ class Cluster:
         return table.partition(self.workers)
 
     def _record_worker_shares(
-        self, registry: MetricsRegistry, phase: str, total: int
+        self,
+        registry: MetricsRegistry,
+        phase: str,
+        total: int,
+        forwarded: Optional[int] = None,
     ) -> None:
         """Per-worker streamed attribution for unpartitioned streams.
 
         The multi-pass operators (JOIN, HAVING, SKYLINE) drive whole
         column arrays rather than explicit per-worker partitions; their
-        traffic is attributed to workers by the same even split
-        ``Table.partition`` uses, so per-worker volumes stay comparable
-        across operator kinds (and identical between scalar and batch).
+        traffic is attributed to workers by the *same* split
+        ``Table.partition`` uses (remainder rows on the later workers),
+        so per-worker counters match the partition sizes an explicitly
+        partitioned phase would record, and their sum is exactly
+        ``total``.  ``forwarded``, when given, is attributed the same
+        way (the parallel runner uses it for schema parity with the
+        sequential single-pass counters).
         """
-        base, extra = divmod(total, self.workers)
+        bounds = np.linspace(0, total, self.workers + 1, dtype=int)
+        shares = np.diff(bounds)
+        forward_shares = (
+            np.diff(np.linspace(0, forwarded, self.workers + 1, dtype=int))
+            if forwarded is not None
+            else None
+        )
         for worker in range(self.workers):
             registry.counter(
                 "worker_entries_streamed_total",
                 "Entries streamed by each worker per phase.",
                 worker=worker,
                 phase=phase,
-            ).inc(base + (1 if worker < extra else 0))
+            ).inc(int(shares[worker]))
+            if forward_shares is not None:
+                registry.counter(
+                    "worker_entries_forwarded_total",
+                    "Entries forwarded by each worker per phase.",
+                    worker=worker,
+                    phase=phase,
+                ).inc(int(forward_shares[worker]))
 
     def _where_columns(self, query: Query) -> List[str]:
         return query.where.columns() if query.where is not None else []

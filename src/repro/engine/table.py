@@ -95,11 +95,36 @@ class Table:
         """First ``n`` rows (data-scale prefixes for Fig. 11)."""
         return Table(self.name, {k: v[:n] for k, v in self._columns.items()})
 
-    def partition(self, parts: int) -> List["Table"]:
-        """Split into ``parts`` contiguous partitions, one per worker."""
+    def partition_bounds(self, parts: int) -> np.ndarray:
+        """Row boundaries of :meth:`partition`: ``parts + 1`` ascending ints.
+
+        Partition ``i`` covers rows ``bounds[i]:bounds[i + 1]``.  Exposed
+        so anything that needs to agree with the worker layout — per-worker
+        accounting, the parallel shard planner — derives it from the same
+        arithmetic instead of re-implementing the split.
+        """
         if parts <= 0:
             raise PlanError(f"need at least one partition, got {parts}")
-        bounds = np.linspace(0, self.num_rows, parts + 1, dtype=int)
+        return np.linspace(0, self.num_rows, parts + 1, dtype=int)
+
+    def partition_shares(self, parts: int) -> List[int]:
+        """Row counts per partition; sums to ``num_rows`` exactly.
+
+        Remainder rows land in the *later* partitions (a property of the
+        ``linspace`` split): 10 rows over 3 workers gives ``[3, 3, 4]``.
+        """
+        bounds = self.partition_bounds(parts)
+        return list(np.diff(bounds).astype(int))
+
+    def partition(self, parts: int) -> List["Table"]:
+        """Split into ``parts`` contiguous partitions, one per worker.
+
+        Each partition's columns are zero-copy numpy views (basic slices)
+        over this table's arrays — partitioning a 1M-row table allocates
+        no column data, and ``np.shares_memory`` holds between a non-empty
+        partition column and its parent.
+        """
+        bounds = self.partition_bounds(parts)
         return [
             Table(
                 f"{self.name}[{i}]",

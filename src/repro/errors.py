@@ -48,3 +48,12 @@ class ChecksumError(ProtocolError):
 
 class PlanError(CheetahError):
     """A logical query plan is malformed or references unknown columns."""
+
+
+class SharedMemoryUnavailable(CheetahError):
+    """OS shared memory could not be allocated for the parallel dataplane.
+
+    Raised by :mod:`repro.parallel.shm` when exporting column blocks
+    fails (no ``/dev/shm``, exhausted segments, restricted sandbox).  The
+    cluster catches it and falls back to the sequential execution path.
+    """

@@ -16,9 +16,37 @@ from __future__ import annotations
 
 from typing import Callable, Generic, List, Optional, Sequence
 
+import numpy as np
+
 from ..core.base import Entry, PruneDecision, Pruner, PruneStats
 from ..errors import ConfigurationError
-from ..sketches.hashing import Hashable, hash_range
+from ..sketches.hashing import Hashable, hash_range, hash_range_batch
+
+#: Seed of the stream partitioner (same-key entries land on one leaf).
+#: Shared with :mod:`repro.parallel.shard`, so a leaf switch in a §9 tree
+#: and a pruner shard in the process-parallel dataplane see identical
+#: key-to-partition assignments.
+PARTITION_SEED = 0x7EAF
+
+
+def hash_partition(entry: Hashable, partitions: int) -> int:
+    """The multiswitch stream partitioner: entry -> partition index.
+
+    Hash partitioning keeps same-key entries together, which is what
+    makes stateful leaf/shard pruners (DISTINCT, GROUP BY, HAVING, JOIN)
+    individually correct for their slice of the stream.
+    """
+    return hash_range(entry, partitions, seed=PARTITION_SEED)
+
+
+def hash_partition_batch(values, partitions: int) -> np.ndarray:
+    """Vectorized :func:`hash_partition` over a value array.
+
+    Element ``i`` equals ``hash_partition(values[i], partitions)`` —
+    bit-for-bit, so scalar multiswitch routing and the batched shard
+    planner agree on every entry's home.
+    """
+    return hash_range_batch(values, partitions, seed=PARTITION_SEED)
 
 
 class SwitchTree(Generic[Entry]):
@@ -52,7 +80,7 @@ class SwitchTree(Generic[Entry]):
         self.root_pruned = 0
 
     def _hash_partition(self, entry: Entry) -> int:
-        return hash_range(entry, len(self.leaves), seed=0x7EAF)
+        return hash_partition(entry, len(self.leaves))
 
     def process(self, entry: Entry) -> PruneDecision:
         """Route through the partition's leaf, then the root."""

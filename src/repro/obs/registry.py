@@ -312,6 +312,41 @@ class MetricsRegistry:
         for span in other.spans:
             self.spans.append(span.relabel(**extra_labels))
 
+    def absorb_sharded(self, other: "MetricsRegistry", shard: int) -> None:
+        """Fold a per-shard registry into this one, the parallel-merge way.
+
+        Counters and histograms are summed *without* a shard label — they
+        are additive totals, and keeping them unlabeled is what makes a
+        merged parallel report's counter values equal a sequential run's.
+        Gauges are levels, which do not add across processes, so each
+        shard's gauge (and its spans) keeps its identity under a
+        ``shard`` label.
+        """
+        for name, family in other._families.items():
+            for sample in family.samples.values():
+                if family.kind == "counter":
+                    self.counter(name, family.help, **sample.labels).inc(
+                        sample.value
+                    )
+                elif family.kind == "gauge":
+                    labels = dict(sample.labels)
+                    labels["shard"] = str(shard)
+                    self.gauge(name, family.help, **labels).set(sample.value)
+                else:
+                    target = self.histogram(
+                        name, family.help, buckets=sample.buckets, **sample.labels
+                    )
+                    if target.buckets != sample.buckets:
+                        raise ConfigurationError(
+                            f"cannot merge histogram {name!r}: bucket layouts differ"
+                        )
+                    for i, count in enumerate(sample.counts):
+                        target.counts[i] += count
+                    target.sum += sample.sum
+                    target.count += sample.count
+        for span in other.spans:
+            self.spans.append(span.relabel(shard=str(shard)))
+
     # -- introspection -------------------------------------------------------
 
     def counter_values(self) -> Dict[str, int]:

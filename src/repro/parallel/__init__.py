@@ -1,0 +1,30 @@
+"""Process-parallel execution of the Cheetah dataplane.
+
+Cheetah's deployment is parallel by construction — many workers stream
+through the switch at once — but the simulator replayed worker
+partitions one after another on a single core.  This package runs them
+for real: :mod:`repro.parallel.runner` fans worker partitions out over
+an OS process pool, each process owning one pruner *shard* with the
+multiswitch partitioning semantics (:mod:`repro.parallel.shard`),
+reading its rows from zero-copy shared-memory column blocks
+(:mod:`repro.parallel.shm`) and returning survivor row-id arrays plus a
+metrics snapshot that the parent merges
+(:meth:`repro.obs.MetricsRegistry.absorb_sharded`).
+
+The entry point is :func:`repro.parallel.runner.run_parallel`;
+:class:`repro.engine.cluster.Cluster` dispatches to it whenever
+``ClusterConfig.parallelism > 1`` and falls back to the sequential path
+when shared memory is unavailable or a fault injector is active.
+"""
+
+from .shard import CONTIGUOUS, HASHED, derive_shard_seed, resolve_policy
+from .shm import SharedColumnStore, attach_columns
+
+__all__ = [
+    "CONTIGUOUS",
+    "HASHED",
+    "SharedColumnStore",
+    "attach_columns",
+    "derive_shard_seed",
+    "resolve_policy",
+]

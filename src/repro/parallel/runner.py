@@ -1,0 +1,473 @@
+"""The parent side of the process-parallel dataplane.
+
+:func:`run_parallel` mirrors the sequential run paths phase for phase —
+same phase names, same span names, same counter families — while the
+actual pruning happens in a pool of shard processes:
+
+1. **partition** — export the streamed columns to shared memory once
+   (:class:`~repro.parallel.shm.SharedColumnStore`) and plan shard
+   ownership (:mod:`repro.parallel.shard`): contiguous worker-partition
+   bounds or multiswitch hash-partition index arrays.
+2. **stream** — submit one task per shard; as futures finish, the
+   master *immediately* does the per-shard part of completion (gather
+   survivor rows, evaluate predicates, extract entries) instead of
+   waiting for a global barrier.  JOIN needs no barrier at all: each
+   shard's Bloom build feeds its own probe inside the task.
+3. **master-complete** — merge the per-shard partials in shard order
+   (survivors are deterministically ordered by ``(shard, row_id)``) and
+   fold every shard's metrics snapshot into the run registry
+   (counters summed, gauges labeled per shard), so
+   :meth:`RunResult.report` is shape-identical to a sequential run.
+
+Worker crashes (``BrokenProcessPool``) degrade to
+:class:`~repro.errors.SharedMemoryUnavailable`, which the cluster
+catches and reruns sequentially; ordinary exceptions from shard code
+propagate unchanged.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+from collections import Counter
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import replace
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.groupby import master_groupby
+from ..core.having import master_having
+from ..core.skyline import master_skyline
+from ..core.topn import master_topn
+from ..engine.plan import CountOp, FilterOp, DistinctOp, GroupByOp, HavingOp, JoinOp, Query, SkylineOp, TopNOp
+from ..engine.table import Table
+from ..errors import PlanError, SharedMemoryUnavailable
+from ..obs import MetricsRegistry
+from . import shard as shard_mod
+from . import worker
+from .shm import SharedColumnStore
+
+#: Batch size shard processes stream in when ``ClusterConfig.batch_size``
+#: is unset (the sequential default of ``None`` means scalar streaming,
+#: which would waste the fan-out).
+DEFAULT_BATCH = 65536
+
+_POOLS: Dict[int, ProcessPoolExecutor] = {}
+
+
+def _shutdown_pools() -> None:
+    for pool in _POOLS.values():
+        pool.shutdown(wait=False, cancel_futures=True)
+    _POOLS.clear()
+
+
+atexit.register(_shutdown_pools)
+
+
+def get_pool(processes: int) -> ProcessPoolExecutor:
+    """A cached process pool of exactly ``processes`` workers.
+
+    ``fork`` is preferred (no interpreter re-import per worker); the
+    pool is reused across runs at the same parallelism, so repeated
+    benchmark repetitions pay the spawn cost once.
+    """
+    pool = _POOLS.get(processes)
+    if pool is None:
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else methods[0]
+        )
+        pool = ProcessPoolExecutor(max_workers=processes, mp_context=context)
+        _POOLS[processes] = pool
+    return pool
+
+
+def _child_config(cluster, shard: int):
+    """The config a shard process rebuilds its pruner from."""
+    return replace(
+        cluster.config,
+        seed=shard_mod.derive_shard_seed(cluster.config.seed, shard),
+        fault_plan=None,
+        parallelism=1,
+        validate_resources=False,
+    )
+
+
+def _batch_size(cluster) -> int:
+    return cluster.config.batch_size or DEFAULT_BATCH
+
+
+def _scatter(pool, specs, task) -> Dict[int, dict]:
+    """Run shard tasks, collecting results keyed by shard id.
+
+    Results are *gathered* in completion order (the pipelining hook —
+    callers may post-process each result as it lands via ``task``'s
+    return value) but always *merged* in shard order by the caller.
+    """
+    futures = [pool.submit(task, spec) for spec in specs]
+    results: Dict[int, dict] = {}
+    for future in as_completed(futures):
+        result = future.result()
+        results[result["shard"]] = result
+    return results
+
+
+def run_parallel(cluster, query: Query, tables) -> "RunResult":
+    """Execute ``query`` across ``ClusterConfig.parallelism`` processes.
+
+    Raises :class:`SharedMemoryUnavailable` when the fan-out cannot run
+    (no shared memory, crashed pool) — the caller falls back to the
+    sequential path; every other exception is a real error.
+    """
+    op = query.operator
+    policy = shard_mod.resolve_policy(
+        op, cluster.config.shard_policy, cluster.config.topn_randomized
+    )
+    try:
+        if isinstance(op, JoinOp):
+            return _run_join(cluster, query, tables)
+        if isinstance(op, HavingOp):
+            return _run_having(cluster, query, tables)
+        if isinstance(op, SkylineOp):
+            return _run_skyline(cluster, query, tables)
+        return _run_single_pass(cluster, query, tables, policy)
+    except BrokenProcessPool as exc:
+        _shutdown_pools()
+        raise SharedMemoryUnavailable(f"shard pool died: {exc}") from exc
+
+
+# -- single-pass operators ---------------------------------------------------
+
+
+def _where_mask(query: Query, sub: Table) -> np.ndarray:
+    if query.where is None:
+        return np.ones(sub.num_rows, dtype=bool)
+    return query.where.mask(sub)
+
+
+def _prepare_single(query: Query, table: Table, ids: np.ndarray):
+    """The per-shard slice of master completion, run as futures land.
+
+    Gathers the shard's surviving rows from the parent's own columns
+    (only row ids crossed the process boundary) and reduces them to the
+    operator's completion-ready partial.
+    """
+    op = query.operator
+    sub = table.take(ids)
+    keep = _where_mask(query, sub)
+    if isinstance(op, (CountOp, FilterOp)):
+        keep &= op.predicate.mask(sub)
+        return ids[keep]
+    if isinstance(op, DistinctOp):
+        if len(op.columns) == 1:
+            return set(sub.column(op.columns[0])[keep].tolist())
+        parts = [sub.column(c)[keep].tolist() for c in op.columns]
+        return set(zip(*parts))
+    if isinstance(op, TopNOp):
+        values = sub.column(op.order_by)[keep].astype(np.float64)
+        return (values if op.descending else -values).tolist()
+    if isinstance(op, GroupByOp):
+        keys = sub.column(op.key)[keep].tolist()
+        values = sub.column(op.value)[keep].astype(np.float64).tolist()
+        return list(zip(keys, values))
+    raise PlanError(f"no parallel completion for {type(op).__name__}")
+
+
+def _merge_single(query: Query, partials: List) -> object:
+    """Merge per-shard partials (in shard order) into the final output."""
+    op = query.operator
+    if isinstance(op, CountOp):
+        return sum(len(part) for part in partials)
+    if isinstance(op, FilterOp):
+        return {int(row_id) for part in partials for row_id in part}
+    if isinstance(op, DistinctOp):
+        return set().union(*partials) if partials else set()
+    if isinstance(op, TopNOp):
+        merged: List[float] = []
+        for part in partials:
+            merged.extend(part)
+        top = master_topn(merged, op.n)
+        return top if op.descending else [-v for v in top]
+    if isinstance(op, GroupByOp):
+        entries = []
+        for part in partials:
+            entries.extend(part)
+        return master_groupby(entries, op.aggregate)
+    raise PlanError(f"no parallel merge for {type(op).__name__}")
+
+
+def _run_single_pass(cluster, query: Query, tables, policy: str) -> "RunResult":
+    from ..engine.cluster import (
+        PhaseVolume,
+        RunResult,
+        _op_kind,
+        _record_phase,
+        _record_worker_volume,
+    )
+
+    op = query.operator
+    table = tables[op.table]
+    columns = query.stream_columns()
+    kind = _op_kind(op)
+    shards = cluster.config.parallelism
+    # Validate resources (and WHERE supportability) once, up front — the
+    # same failures the sequential path would surface before streaming.
+    cluster._maybe_validate(cluster._build_pruner(query, tables))
+    cluster._build_where_stage(query, columns)
+    registry = MetricsRegistry()
+    with registry.trace("partition"):
+        export = {name: table.column(name) for name in columns}
+        layouts: List[tuple] = []
+        if policy == shard_mod.HASHED:
+            key_values = shard_mod.shard_key_values(op, table)
+            for k, index in enumerate(shard_mod.plan_hash_shards(key_values, shards)):
+                export[f"__shard_idx_{k}"] = index
+                layouts.append(("index", f"__shard_idx_{k}"))
+        else:
+            bounds = table.partition_bounds(shards)
+            layouts = [
+                ("bounds", int(bounds[k]), int(bounds[k + 1]))
+                for k in range(shards)
+            ]
+        store = SharedColumnStore(export)
+    phase = PhaseVolume("stream")
+    partials: Dict[int, object] = {}
+    try:
+        specs = [
+            {
+                "shard": k,
+                "handle": store.handle(),
+                "query": query,
+                "config": _child_config(cluster, k),
+                "columns": columns,
+                "layout": layouts[k],
+                "batch": _batch_size(cluster),
+            }
+            for k in range(shards)
+        ]
+        pool = get_pool(shards)
+        results: Dict[int, dict] = {}
+        with registry.trace("stream"):
+            futures = [pool.submit(worker.run_single_pass_shard, s) for s in specs]
+            for future in as_completed(futures):
+                result = future.result()
+                results[result["shard"]] = result
+                # Pipelined completion: reduce this shard's survivors
+                # while other shards are still streaming.
+                partials[result["shard"]] = _prepare_single(
+                    query, table, result["survivors"]
+                )
+    finally:
+        store.close()
+    for k in range(shards):
+        phase.streamed += results[k]["streamed"]
+        phase.forwarded += results[k]["forwarded"]
+        _record_worker_volume(
+            registry, phase.name, k, results[k]["streamed"], results[k]["forwarded"]
+        )
+        registry.absorb_sharded(MetricsRegistry.from_dict(results[k]["metrics"]), k)
+    with registry.trace("master-complete"):
+        output = _merge_single(query, [partials[k] for k in range(shards)])
+    _record_phase(registry, phase)
+    return RunResult(
+        query=query.describe(),
+        output=output,
+        phases=[phase],
+        used_cheetah=True,
+        workers=cluster.workers,
+        op_kind=kind,
+        metrics=registry,
+    )
+
+
+# -- JOIN --------------------------------------------------------------------
+
+
+def _run_join(cluster, query: Query, tables) -> "RunResult":
+    from ..engine.cluster import PhaseVolume, RunResult, _record_phase
+
+    op = query.operator
+    if query.where is not None:
+        raise PlanError("pre-filtered JOIN is not modeled; filter the table first")
+    left_col = tables[op.table].column(op.left_on)
+    right_col = tables[op.right_table].column(op.right_on)
+    shards = cluster.config.parallelism
+    registry = MetricsRegistry()
+    export: Dict[str, np.ndarray] = {"left": left_col, "right": right_col}
+    # Both key columns shard by the SAME hash, so a key's build entries
+    # and probe entries meet on one shard's Bloom filter.
+    left_shards = shard_mod.plan_hash_shards(left_col, shards)
+    right_shards = shard_mod.plan_hash_shards(right_col, shards)
+    for k in range(shards):
+        export[f"__left_idx_{k}"] = left_shards[k]
+        export[f"__right_idx_{k}"] = right_shards[k]
+    store = SharedColumnStore(export)
+    try:
+        specs = [
+            {
+                "shard": k,
+                "handle": store.handle(),
+                "query": query,
+                "config": _child_config(cluster, k),
+                "left_index": f"__left_idx_{k}",
+                "right_index": f"__right_idx_{k}",
+                "batch": _batch_size(cluster),
+            }
+            for k in range(shards)
+        ]
+        results = _scatter(get_pool(shards), specs, worker.run_join_shard)
+    finally:
+        store.close()
+    total = len(left_col) + len(right_col)
+    build = PhaseVolume("join-build", streamed=total)
+    probe = PhaseVolume("join-probe", streamed=total)
+    left_counts: Counter = Counter()
+    right_counts: Counter = Counter()
+    for k in range(shards):
+        probe.forwarded += results[k]["forwarded"]
+        left_counts.update(left_col[results[k]["left_survivors"]].tolist())
+        right_counts.update(right_col[results[k]["right_survivors"]].tolist())
+        registry.absorb_sharded(MetricsRegistry.from_dict(results[k]["metrics"]), k)
+    for phase in (build, probe):
+        cluster._record_worker_shares(registry, phase.name, phase.streamed)
+    with registry.trace("master-complete"):
+        output = Counter(
+            {
+                key: left_counts[key] * right_counts[key]
+                for key in left_counts
+                if key in right_counts
+            }
+        )
+    for phase in (build, probe):
+        _record_phase(registry, phase)
+    return RunResult(
+        query=query.describe(),
+        output=output,
+        phases=[build, probe],
+        used_cheetah=True,
+        workers=cluster.workers,
+        op_kind="join",
+        metrics=registry,
+    )
+
+
+# -- HAVING ------------------------------------------------------------------
+
+
+def _run_having(cluster, query: Query, tables) -> "RunResult":
+    from ..engine.cluster import PhaseVolume, RunResult, _record_phase
+
+    op = query.operator
+    table = tables[op.table]
+    if query.where is not None:
+        table = table.mask(query.where.mask(table))
+    keys_col = table.column(op.key)
+    values_col = table.column(op.value)
+    shards = cluster.config.parallelism
+    registry = MetricsRegistry()
+    export: Dict[str, np.ndarray] = {"key": keys_col, "value": values_col}
+    for k, index in enumerate(shard_mod.plan_hash_shards(keys_col, shards)):
+        export[f"__idx_{k}"] = index
+    store = SharedColumnStore(export)
+    try:
+        specs = [
+            {
+                "shard": k,
+                "handle": store.handle(),
+                "query": query,
+                "config": _child_config(cluster, k),
+                "index": f"__idx_{k}",
+                "batch": _batch_size(cluster),
+            }
+            for k in range(shards)
+        ]
+        results = _scatter(get_pool(shards), specs, worker.run_having_shard)
+    finally:
+        store.close()
+    sketch = PhaseVolume("having-sketch")
+    candidates: set = set()
+    for k in range(shards):
+        sketch.streamed += results[k]["streamed"]
+        sketch.forwarded += results[k]["forwarded"]
+        candidates.update(keys_col[results[k]["survivors"]].tolist())
+        registry.absorb_sharded(MetricsRegistry.from_dict(results[k]["metrics"]), k)
+    second = PhaseVolume("having-refetch")
+    with registry.trace("having-refetch"):
+        if candidates:
+            refetch = int(np.isin(keys_col, np.asarray(list(candidates))).sum())
+        else:
+            refetch = 0
+        second.streamed = second.forwarded = refetch
+    cluster._record_worker_shares(registry, sketch.name, sketch.streamed)
+    cluster._record_worker_shares(registry, second.name, second.streamed)
+    with registry.trace("master-complete"):
+        data = list(zip(keys_col.tolist(), values_col.tolist()))
+        output = set(master_having(candidates, data, op.threshold, op.aggregate))
+    for phase in (sketch, second):
+        _record_phase(registry, phase)
+    return RunResult(
+        query=query.describe(),
+        output=output,
+        phases=[sketch, second],
+        used_cheetah=True,
+        workers=cluster.workers,
+        op_kind="having",
+        metrics=registry,
+    )
+
+
+# -- SKYLINE -----------------------------------------------------------------
+
+
+def _run_skyline(cluster, query: Query, tables) -> "RunResult":
+    from ..engine.cluster import PhaseVolume, RunResult, _record_phase
+
+    op = query.operator
+    table = tables[op.table]
+    if query.where is not None:
+        table = table.mask(query.where.mask(table))
+    columns = list(op.columns)
+    matrix = np.column_stack(
+        [table.column(name).astype(np.float64) for name in columns]
+    ) if table.num_rows else np.empty((0, len(columns)))
+    shards = cluster.config.parallelism
+    registry = MetricsRegistry()
+    bounds = table.partition_bounds(shards)
+    store = SharedColumnStore({"points": matrix})
+    phase = PhaseVolume("skyline-stream")
+    received: List[tuple] = []
+    try:
+        specs = [
+            {
+                "shard": k,
+                "handle": store.handle(),
+                "config": _child_config(cluster, k),
+                "layout": ("bounds", int(bounds[k]), int(bounds[k + 1])),
+                "batch": _batch_size(cluster),
+            }
+            for k in range(shards)
+        ]
+        with registry.trace("skyline-stream"):
+            results = _scatter(get_pool(shards), specs, worker.run_skyline_shard)
+    finally:
+        store.close()
+    for k in range(shards):
+        phase.streamed += results[k]["streamed"]
+        phase.forwarded += results[k]["forwarded"]
+        received.extend(tuple(point) for point in results[k]["received"].tolist())
+        registry.absorb_sharded(MetricsRegistry.from_dict(results[k]["metrics"]), k)
+    cluster._record_worker_shares(registry, phase.name, phase.streamed)
+    with registry.trace("master-complete"):
+        output = set(master_skyline(received))
+    _record_phase(registry, phase)
+    return RunResult(
+        query=query.describe(),
+        output=output,
+        phases=[phase],
+        used_cheetah=True,
+        workers=cluster.workers,
+        op_kind="skyline",
+        metrics=registry,
+    )

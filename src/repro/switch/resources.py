@@ -131,6 +131,24 @@ class ResourceFootprint:
             label=f"{self.label}|{other.label}" if self.label else other.label,
         )
 
+    def signature(self) -> tuple:
+        """A hashable identity of this footprint's resource demands.
+
+        Two footprints with equal signatures fit exactly the same set of
+        models, which is what makes the compiler's memoization sound.
+        ``label`` is included so cached ``ResourceError`` messages name
+        the right program.
+        """
+        return (
+            self.stages,
+            self.alus,
+            self.sram_bits,
+            self.tcam_entries,
+            self.phv_bits,
+            tuple(sorted(self.stage_sram_bits.items())),
+            self.label,
+        )
+
     def check_fits(self, model: ResourceModel) -> None:
         """Raise :class:`ResourceError` if this footprint exceeds ``model``."""
         problems = []

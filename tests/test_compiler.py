@@ -8,6 +8,9 @@ import pytest
 
 from repro.errors import ConfigurationError, ResourceError
 from repro.switch.compiler import (
+    check_fits_cached,
+    clear_compile_cache,
+    compile_cache_stats,
     footprint_distinct,
     footprint_filtering,
     footprint_groupby,
@@ -168,3 +171,57 @@ class TestPacking:
         combined = pack([fp], TOFINO)
         assert combined.stages == fp.stages
         assert combined.alus == fp.alus
+
+
+class TestCompileMemo:
+    """check_fits_cached / pack memoization (keyed on signature + model)."""
+
+    def setup_method(self):
+        clear_compile_cache()
+
+    def test_repeat_fit_checks_hit_the_cache(self):
+        fp = footprint_groupby(cols=4, rows=512)
+        check_fits_cached(fp, TOFINO)
+        assert compile_cache_stats() == {"hits": 0, "misses": 1}
+        check_fits_cached(fp, TOFINO)
+        check_fits_cached(footprint_groupby(cols=4, rows=512), TOFINO)
+        assert compile_cache_stats() == {"hits": 2, "misses": 1}
+
+    def test_different_model_is_a_different_key(self):
+        fp = footprint_filtering(1)
+        check_fits_cached(fp, TOFINO)
+        check_fits_cached(fp, MINI)
+        assert compile_cache_stats()["misses"] == 2
+
+    def test_negative_fit_verdict_is_cached_and_reraised(self):
+        huge = footprint_join(memory_bits=TOFINO.total_sram_bits * 4, variant="bf")
+        with pytest.raises(ResourceError) as first:
+            check_fits_cached(huge, TOFINO)
+        with pytest.raises(ResourceError) as second:
+            check_fits_cached(huge, TOFINO)
+        assert str(first.value) == str(second.value)
+        assert compile_cache_stats() == {"hits": 1, "misses": 1}
+
+    def test_pack_is_memoized(self):
+        fps = [footprint_filtering(2), footprint_topn_det(4)]
+        first = pack(fps, TOFINO)
+        misses = compile_cache_stats()["misses"]
+        second = pack([footprint_filtering(2), footprint_topn_det(4)], TOFINO)
+        assert compile_cache_stats()["misses"] == misses
+        assert compile_cache_stats()["hits"] >= 1
+        assert second.stages == first.stages
+        assert second.sram_bits == first.sram_bits
+
+    def test_pack_failure_is_cached_and_reraised(self):
+        huge = footprint_join(memory_bits=TOFINO.total_sram_bits, variant="bf")
+        with pytest.raises(ResourceError):
+            pack([huge, huge], TOFINO)
+        with pytest.raises(ResourceError):
+            pack([huge, huge], TOFINO)
+        assert compile_cache_stats()["hits"] >= 1
+
+    def test_signature_is_hashable_and_stable(self):
+        fp = footprint_groupby(cols=4, rows=512)
+        assert fp.signature() == footprint_groupby(cols=4, rows=512).signature()
+        assert hash(fp.signature()) == hash(fp.signature())
+        assert fp.signature() != footprint_groupby(cols=5, rows=512).signature()

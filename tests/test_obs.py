@@ -328,3 +328,59 @@ def test_prune_stats_standalone_and_reset():
     stats.reset()
     assert (stats.processed, stats.pruned, stats.forwarded) == (0, 0, 0)
     assert stats.pruning_rate == 0.0
+
+
+# ---------------------------------------------------------------------------
+# absorb_sharded (parallel-merge semantics)
+# ---------------------------------------------------------------------------
+
+
+def test_absorb_sharded_sums_counters_without_shard_label():
+    parent = MetricsRegistry()
+    parent.counter("work_total", "Work.", phase="stream").inc(3)
+    shard0 = MetricsRegistry()
+    shard0.counter("work_total", "Work.", phase="stream").inc(5)
+    shard1 = MetricsRegistry()
+    shard1.counter("work_total", "Work.", phase="stream").inc(7)
+    parent.absorb_sharded(shard0, 0)
+    parent.absorb_sharded(shard1, 1)
+    values = parent.counter_values()
+    assert values == {"work_total{phase=stream}": 15}
+
+
+def test_absorb_sharded_labels_gauges_per_shard():
+    parent = MetricsRegistry()
+    shard = MetricsRegistry()
+    shard.gauge("fill_ratio", "Fill.", pruner="topn").set(0.5)
+    parent.absorb_sharded(shard, 2)
+    assert parent.gauge_values() == {"fill_ratio{pruner=topn,shard=2}": 0.5}
+
+
+def test_absorb_sharded_relabels_spans():
+    parent = MetricsRegistry()
+    shard = MetricsRegistry()
+    with shard.trace("join-build"):
+        pass
+    parent.absorb_sharded(shard, 3)
+    assert [s.name for s in parent.spans] == ["join-build"]
+    assert parent.spans[0].labels["shard"] == "3"
+
+
+def test_absorb_sharded_merges_histograms_bucketwise():
+    parent = MetricsRegistry()
+    parent.histogram("lat", "Latency.", buckets=(1.0, 2.0)).observe(0.5)
+    shard = MetricsRegistry()
+    shard.histogram("lat", "Latency.", buckets=(1.0, 2.0)).observe(1.5)
+    parent.absorb_sharded(shard, 0)
+    dump = parent.to_dict()["histograms"][0]
+    assert dump["count"] == 2
+    assert dump["sum"] == pytest.approx(2.0)
+
+
+def test_absorb_sharded_rejects_mismatched_buckets():
+    parent = MetricsRegistry()
+    parent.histogram("lat", "Latency.", buckets=(1.0, 2.0)).observe(0.5)
+    shard = MetricsRegistry()
+    shard.histogram("lat", "Latency.", buckets=(1.0, 4.0)).observe(1.5)
+    with pytest.raises(ConfigurationError):
+        parent.absorb_sharded(shard, 0)

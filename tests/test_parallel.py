@@ -1,0 +1,398 @@
+"""The process-parallel dataplane: equivalence, determinism, fallbacks.
+
+The load-bearing contract: a run at ``parallelism=N`` produces the same
+*output* as the sequential batched path for every operator (both are
+verified against the reference executor), streams the same total volume,
+and reports through the same metrics schema — while actually executing
+each pruner shard in its own OS process over shared-memory columns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.cluster import Cluster, ClusterConfig
+from repro.engine.expressions import col
+from repro.engine.plan import (
+    CountOp,
+    DistinctOp,
+    FilterOp,
+    GroupByOp,
+    HavingOp,
+    JoinOp,
+    Query,
+    SkylineOp,
+    TopNOp,
+)
+from repro.engine.reference import run_reference
+from repro.engine.table import Table
+from repro.errors import ConfigurationError, SharedMemoryUnavailable
+
+SEEDS = (1, 7, 42)
+PARALLELISMS = (1, 2, 4)
+BATCH = 128
+
+
+def make_tables(seed: int) -> dict:
+    rng = np.random.default_rng(seed)
+    n = 900
+    products = Table(
+        "products",
+        {
+            "price": rng.integers(0, 400, n),
+            "qty": rng.integers(0, 50, n),
+            "cat": rng.integers(0, 30, n),
+        },
+    )
+    ratings = Table("ratings", {"cat": rng.integers(0, 40, n // 2)})
+    return {"products": products, "ratings": ratings}
+
+
+def make_query(op_name: str) -> Query:
+    return {
+        "filter": Query(FilterOp("products", col("price") > 250)),
+        "distinct": Query(DistinctOp("products", ["cat"])),
+        "topn": Query(TopNOp("products", "price", 12)),
+        "groupby": Query(GroupByOp("products", "cat", "price", "max")),
+        "having": Query(
+            HavingOp("products", "cat", "price", threshold=5000.0, aggregate="sum")
+        ),
+        "join": Query(JoinOp("products", "ratings", "cat", "cat")),
+        "skyline": Query(SkylineOp("products", ["price", "qty"])),
+    }[op_name]
+
+
+def cluster(parallelism: int, **overrides) -> Cluster:
+    return Cluster(
+        workers=5,
+        config=ClusterConfig(
+            batch_size=BATCH, parallelism=parallelism, **overrides
+        ),
+    )
+
+
+class TestEquivalence:
+    """All 7 operators x 3 seeds x parallelism {1, 2, 4}."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize(
+        "op_name",
+        ["filter", "distinct", "topn", "groupby", "having", "join", "skyline"],
+    )
+    def test_output_and_volume_match_sequential(self, op_name, seed):
+        tables = make_tables(seed)
+        query = make_query(op_name)
+        sequential = cluster(1).run_verified(query, tables)
+        for parallelism in PARALLELISMS:
+            result = cluster(parallelism).run_verified(query, tables)
+            assert result.output == sequential.output
+            assert result.total_streamed == sequential.total_streamed
+            assert [p.name for p in result.phases] == [
+                p.name for p in sequential.phases
+            ]
+
+    def test_count_with_where(self):
+        tables = make_tables(3)
+        query = Query(
+            CountOp("products", col("price") > 100), where=col("qty") <= 25
+        )
+        sequential = cluster(1).run_verified(query, tables)
+        result = cluster(4).run_verified(query, tables)
+        assert result.output == sequential.output
+
+    def test_where_before_stateful_operator(self):
+        tables = make_tables(5)
+        query = Query(DistinctOp("products", ["cat"]), where=col("price") > 200)
+        sequential = cluster(1).run_verified(query, tables)
+        result = cluster(3).run_verified(query, tables)
+        assert result.output == sequential.output
+
+    def test_deterministic_topn_replicas(self):
+        tables = make_tables(11)
+        query = make_query("topn")
+        sequential = cluster(1, topn_randomized=False).run_verified(query, tables)
+        result = cluster(4, topn_randomized=False).run_verified(query, tables)
+        assert result.output == sequential.output
+
+    def test_multi_column_distinct_hash_shards(self):
+        tables = make_tables(13)
+        query = Query(DistinctOp("products", ["cat", "qty"]))
+        sequential = cluster(1).run_verified(query, tables)
+        result = cluster(4).run_verified(query, tables)
+        assert result.output == sequential.output
+
+    def test_survivor_stream_is_superset_of_reference(self):
+        tables = make_tables(17)
+        query = make_query("filter")
+        expected = run_reference(query, tables)
+        result = cluster(4).run(query, tables)
+        assert result.output == expected
+        assert result.total_forwarded >= len(expected)
+
+
+class TestMetrics:
+    def test_report_schema_matches_sequential(self):
+        tables = make_tables(1)
+        query = make_query("filter")
+        sequential = cluster(1).run(query, tables).report()
+        parallel = cluster(2).run(query, tables).report()
+        assert set(sequential) == set(parallel)
+        assert [p["name"] for p in sequential["phases"]] == [
+            p["name"] for p in parallel["phases"]
+        ]
+        assert set(sequential["metrics"]) == set(parallel["metrics"])
+        counter_names = lambda report: {  # noqa: E731
+            entry["name"] for entry in report["metrics"]["counters"]
+        }
+        assert counter_names(sequential) == counter_names(parallel)
+        span_names = lambda report: {  # noqa: E731
+            span["name"] for span in report["metrics"]["spans"]
+        }
+        assert span_names(sequential) == span_names(parallel)
+
+    def test_stateless_filter_counters_equal_sequential(self):
+        tables = make_tables(2)
+        query = make_query("filter")
+        sequential = cluster(1).run(query, tables)
+        parallel = cluster(2).run(query, tables)
+        seq_counters = sequential.metrics.counter_values()
+        par_counters = parallel.metrics.counter_values()
+        for name, value in seq_counters.items():
+            if name.startswith("phase_") or name.startswith("pruner_"):
+                assert par_counters[name] == value, name
+
+    @pytest.mark.parametrize("op_name", ["distinct", "having", "join"])
+    def test_merged_totals_equal_streamed_totals(self, op_name):
+        tables = make_tables(4)
+        result = cluster(4).run(make_query(op_name), tables)
+        counters = result.metrics.counter_values()
+        streamed = sum(
+            v
+            for name, v in counters.items()
+            if name.startswith("phase_entries_streamed_total")
+        )
+        assert streamed == result.total_streamed
+        worker_streamed = sum(
+            v
+            for name, v in counters.items()
+            if name.startswith("worker_entries_streamed_total")
+        )
+        assert worker_streamed == result.total_streamed
+
+    def test_gauges_are_labeled_per_shard(self):
+        tables = make_tables(6)
+        result = cluster(2).run(make_query("distinct"), tables)
+        shard_labels = {
+            entry["labels"].get("shard")
+            for entry in result.metrics.to_dict()["gauges"]
+        }
+        assert {"0", "1"} <= shard_labels
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("op_name", ["filter", "distinct", "join"])
+    def test_repeated_runs_are_identical(self, op_name):
+        tables = make_tables(9)
+        query = make_query(op_name)
+        first = cluster(3).run(query, tables)
+        second = cluster(3).run(query, tables)
+        assert first.output == second.output
+        assert first.metrics.counter_values() == second.metrics.counter_values()
+        assert first.metrics.gauge_values() == second.metrics.gauge_values()
+
+
+class TestFallbacks:
+    def test_parallelism_one_never_enters_parallel_path(self, monkeypatch):
+        import repro.parallel.runner as runner
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("parallel path entered at parallelism=1")
+
+        monkeypatch.setattr(runner, "run_parallel", boom)
+        tables = make_tables(1)
+        result = cluster(1).run_verified(make_query("filter"), tables)
+        assert result.used_cheetah
+
+    def test_active_injector_forces_sequential(self, monkeypatch):
+        from repro.faults.plan import FaultPlan
+
+        import repro.parallel.runner as runner
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("parallel path entered under fault injection")
+
+        monkeypatch.setattr(runner, "run_parallel", boom)
+        tables = make_tables(1)
+        plan = FaultPlan(events=[], seed=0)
+        result = cluster(2, fault_plan=plan).run(make_query("filter"), tables)
+        assert result.faults is not None
+
+    def test_shared_memory_unavailable_falls_back(self, monkeypatch):
+        import repro.parallel.runner as runner
+
+        def unavailable(*args, **kwargs):
+            raise SharedMemoryUnavailable("no segments in this test")
+
+        monkeypatch.setattr(runner, "SharedColumnStore", unavailable)
+        tables = make_tables(1)
+        query = make_query("filter")
+        result = cluster(2).run_verified(query, tables)
+        assert result.output == cluster(1).run(query, tables).output
+
+    def test_baseline_runs_stay_sequential(self, monkeypatch):
+        import repro.parallel.runner as runner
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("baseline must not use the parallel path")
+
+        monkeypatch.setattr(runner, "run_parallel", boom)
+        tables = make_tables(1)
+        result = cluster(2).run(make_query("filter"), tables, use_cheetah=False)
+        assert not result.used_cheetah
+
+
+class TestShardPolicy:
+    @pytest.mark.parametrize("op_name", ["having", "join"])
+    def test_contiguous_rejected_for_key_split_operators(self, op_name):
+        tables = make_tables(1)
+        with pytest.raises(ConfigurationError, match="cannot shard contiguously"):
+            cluster(2, shard_policy="contiguous").run(make_query(op_name), tables)
+
+    def test_explicit_hash_for_keyless_op_is_contiguous(self):
+        from repro.engine.plan import FilterOp as F
+        from repro.parallel.shard import CONTIGUOUS, resolve_policy
+
+        op = F("products", col("price") > 1)
+        assert resolve_policy(op, "hash", True) == CONTIGUOUS
+
+    def test_auto_policy_per_operator(self):
+        from repro.parallel.shard import CONTIGUOUS, HASHED, resolve_policy
+
+        assert resolve_policy(make_query("distinct").operator, "auto", True) == HASHED
+        assert resolve_policy(make_query("having").operator, "auto", True) == HASHED
+        assert resolve_policy(make_query("join").operator, "auto", True) == HASHED
+        assert (
+            resolve_policy(make_query("skyline").operator, "auto", True)
+            == CONTIGUOUS
+        )
+        assert resolve_policy(make_query("topn").operator, "auto", False) == (
+            CONTIGUOUS
+        )
+        assert resolve_policy(make_query("topn").operator, "auto", True) == HASHED
+
+    def test_bad_policy_string_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(shard_policy="diagonal")
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(parallelism=0)
+
+
+class TestPartitioner:
+    def test_hash_partition_batch_matches_scalar(self):
+        from repro.extensions.multiswitch import (
+            hash_partition,
+            hash_partition_batch,
+        )
+
+        values = np.random.default_rng(0).integers(0, 10_000, 500)
+        batch = hash_partition_batch(values, 7)
+        scalars = [hash_partition(int(v), 7) for v in values]
+        assert batch.tolist() == scalars
+
+    def test_hash_shards_cover_all_rows_disjointly(self):
+        from repro.parallel.shard import plan_hash_shards
+
+        values = np.random.default_rng(1).integers(0, 100, 1000)
+        shards = plan_hash_shards(values, 4)
+        merged = np.concatenate(shards)
+        assert sorted(merged.tolist()) == list(range(1000))
+
+    def test_same_key_lands_on_one_shard(self):
+        from repro.parallel.shard import plan_hash_shards
+
+        values = np.repeat(np.arange(50), 20)
+        shards = plan_hash_shards(values, 4)
+        owner = {}
+        for shard_id, index in enumerate(shards):
+            for key in np.unique(values[index]):
+                assert owner.setdefault(int(key), shard_id) == shard_id
+
+    def test_derived_seeds_distinct_and_stable(self):
+        from repro.parallel.shard import derive_shard_seed
+
+        seeds = [derive_shard_seed(0, shard) for shard in range(8)]
+        assert len(set(seeds)) == 8
+        assert seeds == [derive_shard_seed(0, shard) for shard in range(8)]
+
+
+class TestWorkerShares:
+    def test_shares_match_table_partition_sizes(self):
+        from repro.obs import MetricsRegistry
+
+        table = Table("t", {"x": np.arange(10)})
+        registry = MetricsRegistry()
+        Cluster(workers=3)._record_worker_shares(registry, "p", 10)
+        counters = registry.counter_values()
+        shares = [
+            counters[f"worker_entries_streamed_total{{phase=p,worker={w}}}"]
+            for w in range(3)
+        ]
+        assert shares == [len(part) for part in table.partition(3)]
+        assert sum(shares) == 10
+
+    def test_remainder_goes_to_later_workers(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        Cluster(workers=4)._record_worker_shares(registry, "p", 7, forwarded=5)
+        counters = registry.counter_values()
+        streamed = [
+            counters[f"worker_entries_streamed_total{{phase=p,worker={w}}}"]
+            for w in range(4)
+        ]
+        forwarded = [
+            counters[f"worker_entries_forwarded_total{{phase=p,worker={w}}}"]
+            for w in range(4)
+        ]
+        assert sum(streamed) == 7 and streamed[-1] >= streamed[0]
+        assert sum(forwarded) == 5
+
+    def test_multi_pass_worker_totals_equal_phase_totals(self):
+        tables = make_tables(8)
+        result = cluster(1).run(make_query("join"), tables)
+        counters = result.metrics.counter_values()
+        worker_total = sum(
+            v
+            for name, v in counters.items()
+            if name.startswith("worker_entries_streamed_total")
+        )
+        assert worker_total == result.total_streamed
+
+
+class TestSharedMemory:
+    def test_round_trip_numeric_and_object_columns(self):
+        from repro.parallel.shm import SharedColumnStore, attach_columns
+
+        columns = {
+            "a": np.arange(100, dtype=np.int64),
+            "b": np.linspace(0, 1, 100),
+            "s": np.array(["x", "y"] * 50, dtype=object),
+        }
+        with SharedColumnStore(columns) as store:
+            attached, close = attach_columns(store.handle())
+            try:
+                for name, array in columns.items():
+                    assert np.array_equal(attached[name], array)
+            finally:
+                close()
+
+    def test_empty_column_round_trip(self):
+        from repro.parallel.shm import SharedColumnStore, attach_columns
+
+        with SharedColumnStore({"a": np.empty(0, dtype=np.int64)}) as store:
+            attached, close = attach_columns(store.handle())
+            try:
+                assert len(attached["a"]) == 0
+            finally:
+                close()

@@ -115,6 +115,25 @@ class TestPartitioning:
         with pytest.raises(PlanError):
             table.partition(0)
 
+    def test_partitions_are_zero_copy_views(self, table):
+        parts = table.partition(2)
+        for part in parts:
+            if part.num_rows:
+                assert np.shares_memory(part.column("a"), table.column("a"))
+
+    def test_partition_bounds_match_partition_sizes(self, table):
+        bounds = table.partition_bounds(3)
+        parts = table.partition(3)
+        sizes = np.diff(bounds)
+        assert sizes.tolist() == [p.num_rows for p in parts]
+        assert table.partition_shares(3) == [p.num_rows for p in parts]
+
+    def test_partition_remainder_lands_on_later_partitions(self):
+        table = Table("t", {"x": np.arange(10)})
+        assert table.partition_shares(3) == [3, 3, 4]
+        with pytest.raises(PlanError):
+            table.partition_bounds(0)
+
 
 class TestRowStreaming:
     def test_iter_rows_projection(self, table):

@@ -98,6 +98,37 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos_cmd.add_argument("--json", metavar="PATH", default=None,
                            help="write the deterministic fault report to PATH")
 
+    serve_cmd = sub.add_parser(
+        "serve",
+        help="run the query-serving layer against a concurrent demo workload",
+    )
+    serve_cmd.add_argument("--rows", type=int, default=20_000,
+                           help="UserVisits rows to generate (default 20000)")
+    serve_cmd.add_argument("--workers", type=int, default=5,
+                           help="cluster workers (default 5)")
+    serve_cmd.add_argument("--threads", type=int, default=2,
+                           help="executor threads in the service (default 2)")
+    serve_cmd.add_argument("--clients", type=int, default=4,
+                           help="concurrent client threads (default 4)")
+    serve_cmd.add_argument("--requests", type=int, default=24,
+                           help="total requests across all clients (default 24)")
+    serve_cmd.add_argument("--max-queue", type=int, default=128,
+                           help="admission queue depth (default 128)")
+    serve_cmd.add_argument("--max-pack", type=int, default=4,
+                           help="max queries per packed slot (default 4)")
+    serve_cmd.add_argument("--no-packing", action="store_true",
+                           help="disable §6 packed slots (solo slots only)")
+    serve_cmd.add_argument("--timeout", type=float, default=None,
+                           help="per-request deadline budget in seconds")
+    serve_cmd.add_argument("--parallelism", type=int, default=1,
+                           help="shard processes per engine run (default 1)")
+    serve_cmd.add_argument("--seed", type=int, default=0, help="workload seed")
+    serve_cmd.add_argument("--verify", action="store_true",
+                           help="re-check every answer against the reference "
+                                "executor inside the service")
+    serve_cmd.add_argument("--metrics-out", metavar="PATH", default=None,
+                           help="write the service report (JSON envelope) to PATH")
+
     sub.add_parser("table2", help="print the Table 2 resource footprints")
     sub.add_parser("workloads", help="list the generated tables and columns")
     return parser
@@ -286,6 +317,103 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if match else 1
 
 
+#: The mixed serving workload: four §6-packable single-pass queries over
+#: UserVisits, a filter over Rankings (different table — never packs with
+#: the others), and a multi-pass JOIN that always runs in a solo slot.
+_SERVE_WORKLOAD = (
+    "SELECT COUNT(*) FROM UserVisits WHERE duration > 30",
+    "SELECT DISTINCT userAgent FROM UserVisits",
+    "SELECT TOP 50 duration FROM UserVisits ORDER BY adRevenue DESC",
+    "SELECT userAgent, MAX(adRevenue) FROM UserVisits GROUP BY userAgent",
+    "SELECT COUNT(*) FROM Rankings WHERE avgDuration < 10",
+    "SELECT * FROM UserVisits JOIN Rankings ON UserVisits.destURL = Rankings.pageURL",
+)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import threading
+
+    from .engine.cluster import ClusterConfig
+    from .engine.reference import run_reference
+    from .errors import Overloaded
+    from .serve import QueryService, ServeClient
+
+    scale = bigdata.BigDataScale(
+        rankings_rows=max(1000, args.rows // 2),
+        uservisits_rows=args.rows,
+        distinct_urls=max(400, args.rows // 5),
+    )
+    tables = bigdata.tables(scale, seed=args.seed)
+    expected = {sql: run_reference(parse(sql), tables) for sql in _SERVE_WORKLOAD}
+    config = ClusterConfig(parallelism=args.parallelism, seed=args.seed)
+    service = QueryService(
+        tables,
+        workers=args.workers,
+        config=config,
+        max_queue=args.max_queue,
+        worker_threads=args.threads,
+        max_pack=args.max_pack,
+        enable_packing=not args.no_packing,
+        default_timeout=args.timeout,
+        verify=args.verify,
+    )
+    mismatches: List[str] = []
+    shed = [0]
+    lock = threading.Lock()
+
+    def client_loop(index: int, count: int) -> None:
+        client = ServeClient(service, tenant=f"client-{index}")
+        for i in range(count):
+            sql = _SERVE_WORKLOAD[(index + i) % len(_SERVE_WORKLOAD)]
+            try:
+                output = client.query(sql)
+            except Overloaded:
+                with lock:
+                    shed[0] += 1
+                continue
+            if output != expected[sql]:
+                with lock:
+                    mismatches.append(sql)
+
+    per_client = max(1, args.requests // max(1, args.clients))
+    threads = [
+        threading.Thread(target=client_loop, args=(i, per_client), daemon=True)
+        for i in range(args.clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    service.shutdown(drain=True)
+    report = service.report()
+    summary = report["summary"]
+    print(f"workload : {args.clients} clients x {per_client} requests "
+          f"({len(_SERVE_WORKLOAD)} distinct queries)")
+    print(f"requests : {summary['requests']} submitted, "
+          f"{summary['completed']} completed, {summary['failed']} failed, "
+          f"{shed[0]} shed")
+    print(f"slots    : {summary['slots_packed']} packed "
+          f"({summary['packed_queries']} queries), "
+          f"{summary['slots_solo']} solo")
+    print(f"caches   : {summary['cache_hits']} result hits, "
+          f"{summary['program_cache']['hits']} program hits")
+    print(f"traffic  : {summary['streamed']} streamed, "
+          f"{summary['forwarded']} forwarded "
+          f"({summary['pruning_rate']:.2%} pruned)")
+    for tenant, figures in report["latency_ms"].items():
+        print(f"latency  : {tenant:12s} n={figures['count']:<4d} "
+              f"p50={figures['p50']:.2f}ms p99={figures['p99']:.2f}ms")
+    exact = not mismatches
+    print(f"results  : {'ALL EXACT' if exact else 'MISMATCH'}; "
+          f"drained cleanly (queue={summary['queue_depth']}, "
+          f"inflight={summary['inflight']})")
+    if args.metrics_out is not None:
+        with open(args.metrics_out, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+        print(f"metrics  : written to {args.metrics_out}")
+    return 0 if exact else 1
+
+
 def _cmd_explain(args: argparse.Namespace) -> int:
     from .engine.explain import explain
 
@@ -321,6 +449,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "explain": _cmd_explain,
         "metrics": _cmd_metrics,
         "chaos": _cmd_chaos,
+        "serve": _cmd_serve,
         "table2": _cmd_table2,
         "workloads": _cmd_workloads,
     }

@@ -177,6 +177,54 @@ class PackedRunResult:
         """Fraction of the shared stream pruned for every query."""
         return ratio(self.phase.streamed - self.phase.forwarded, self.phase.streamed)
 
+    def report(self) -> dict:
+        """Structured, JSON-ready packed-run report.
+
+        Same top-level shape as :meth:`RunResult.report` (so the CLI's
+        ``metrics`` subcommand and ``scripts/check_metrics_schema.py``
+        accept it unchanged), with ``op_kind="packed"`` and one extra
+        ``queries`` list holding each packed query's own full report —
+        the per-query isolation :meth:`Cluster.run_packed` maintains.
+        The top-level ``metrics`` dump combines the shared streaming
+        pass's registry with every per-query registry folded in under a
+        ``packed_query`` index label.
+        """
+        combined = MetricsRegistry()
+        if self.metrics is not None:
+            combined.absorb(self.metrics)
+        for index, result in enumerate(self.results):
+            if result.metrics is not None:
+                combined.absorb(result.metrics, packed_query=index)
+        seconds_by_name: Dict[str, float] = {}
+        for span in combined.spans:
+            seconds_by_name[span.name] = (
+                seconds_by_name.get(span.name, 0.0) + span.seconds
+            )
+        return {
+            "query": " ; ".join(result.query for result in self.results),
+            "op_kind": "packed",
+            "used_cheetah": True,
+            "workers": self.results[0].workers if self.results else 0,
+            "totals": {
+                "streamed": self.total_streamed,
+                "forwarded": self.total_forwarded,
+                "pruned": self.total_streamed - self.total_forwarded,
+                "pruning_rate": self.pruning_rate,
+            },
+            "phases": [
+                {
+                    "name": self.phase.name,
+                    "streamed": self.phase.streamed,
+                    "forwarded": self.phase.forwarded,
+                    "pruned": self.phase.pruned,
+                    "seconds": seconds_by_name.get(self.phase.name),
+                }
+            ],
+            "metrics": combined.to_dict(),
+            "faults": None,
+            "queries": [result.report() for result in self.results],
+        }
+
 
 @dataclass
 class ClusterConfig:

@@ -9,11 +9,26 @@ metadata pass of late materialization).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import List, Optional, Sequence
 
 from ..errors import PlanError
 from .expressions import Expr
+
+
+def _canonical(value: object) -> str:
+    """Deterministic rendering of an operator field for cache keys.
+
+    Expressions render through their canonical ``repr`` (the parser has
+    already normalized keyword case and whitespace into the AST), and
+    sequences render element-wise so tuple-vs-list construction does not
+    change the key.
+    """
+    if isinstance(value, Expr):
+        return repr(value)
+    if isinstance(value, (list, tuple)):
+        return "(" + ",".join(_canonical(item) for item in value) + ")"
+    return repr(value)
 
 
 class Operator:
@@ -212,3 +227,24 @@ class Query:
         if self.where is not None:
             text += f" [pre-filter {self.where!r}]"
         return text
+
+    def cache_key(self) -> str:
+        """A stable canonical identity of this plan.
+
+        Covers the operator (type and every field), the WHERE expression,
+        and the streamed columns — everything that determines both the
+        compiled switch program and the query's output on a fixed table
+        version.  Two SQL texts that differ only in whitespace or keyword
+        case parse to equal plans and therefore equal keys, which is what
+        makes it safe as the serving layer's result-cache and
+        compiled-program-cache key (:mod:`repro.serve.cache`).
+        """
+        op = self.operator
+        parts = [type(op).__name__.lower()]
+        parts.extend(
+            f"{spec.name}={_canonical(getattr(op, spec.name))}"
+            for spec in fields(op)
+        )
+        where = "None" if self.where is None else repr(self.where)
+        stream = ",".join(self.stream_columns())
+        return "|".join(parts) + f"|where={where}|stream=[{stream}]"

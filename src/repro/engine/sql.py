@@ -57,11 +57,12 @@ _KEYWORDS = {
 
 
 class _Token:
-    __slots__ = ("kind", "value")
+    __slots__ = ("kind", "value", "pos")
 
-    def __init__(self, kind: str, value: str) -> None:
+    def __init__(self, kind: str, value: str, pos: int = 0) -> None:
         self.kind = kind
         self.value = value
+        self.pos = pos
 
     def __repr__(self) -> str:
         return f"{self.kind}:{self.value}"
@@ -73,7 +74,16 @@ def _tokenize(text: str) -> List[_Token]:
     while position < len(text):
         match = _TOKEN_RE.match(text, position)
         if match is None:
-            raise PlanError(f"cannot tokenize SQL at: {text[position:position + 20]!r}")
+            if text[position] == "'":
+                raise PlanError(
+                    f"unterminated string literal at position {position} "
+                    f"in {text!r}"
+                )
+            raise PlanError(
+                f"cannot tokenize SQL at position {position}: "
+                f"{text[position:position + 20]!r}"
+            )
+        start = position
         position = match.end()
         if match.lastgroup == "ws":
             continue
@@ -81,8 +91,8 @@ def _tokenize(text: str) -> List[_Token]:
         kind = match.lastgroup or "word"
         if kind == "word" and value.upper() in _KEYWORDS:
             kind, value = "kw", value.upper()
-        tokens.append(_Token(kind, value))
-    tokens.append(_Token("eof", ""))
+        tokens.append(_Token(kind, value, start))
+    tokens.append(_Token("eof", "", len(text)))
     return tokens
 
 
@@ -113,15 +123,18 @@ class _Parser:
 
     def expect_kw(self, keyword: str) -> None:
         if not self.accept_kw(keyword):
+            token = self.peek()
             raise PlanError(
-                f"expected {keyword} at token {self.peek()!r} in {self.text!r}"
+                f"expected {keyword} at token {token!r} "
+                f"(position {token.pos}) in {self.text!r}"
             )
 
     def expect_word(self) -> str:
         token = self.peek()
         if token.kind != "word":
             raise PlanError(
-                f"expected identifier at token {token!r} in {self.text!r}"
+                f"expected identifier at token {token!r} "
+                f"(position {token.pos}) in {self.text!r}"
             )
         return self.advance().value
 
@@ -134,8 +147,10 @@ class _Parser:
 
     def expect_punct(self, char: str) -> None:
         if not self.accept_punct(char):
+            token = self.peek()
             raise PlanError(
-                f"expected {char!r} at token {self.peek()!r} in {self.text!r}"
+                f"expected {char!r} at token {token!r} "
+                f"(position {token.pos}) in {self.text!r}"
             )
 
     def _literal(self) -> object:
@@ -146,7 +161,10 @@ class _Parser:
         if token.kind == "string":
             self.advance()
             return token.value[1:-1]
-        raise PlanError(f"expected literal at token {token!r} in {self.text!r}")
+        raise PlanError(
+            f"expected literal at token {token!r} "
+            f"(position {token.pos}) in {self.text!r}"
+        )
 
     # -- WHERE grammar ----------------------------------------------------
 
@@ -191,7 +209,8 @@ class _Parser:
         token = self.peek()
         if token.kind != "op":
             raise PlanError(
-                f"expected comparison after {column!r} at {token!r} in {self.text!r}"
+                f"expected comparison after {column!r} at {token!r} "
+                f"(position {token.pos}) in {self.text!r}"
             )
         op = self.advance().value
         op = {"=": "==", "<>": "!="}.get(op, op)
@@ -379,7 +398,10 @@ class _Parser:
     def _expect_end(self) -> None:
         token = self.peek()
         if token.kind != "eof":
-            raise PlanError(f"unexpected trailing tokens at {token!r} in {self.text!r}")
+            raise PlanError(
+                f"unexpected trailing tokens at {token!r} "
+                f"(position {token.pos}) in {self.text!r}"
+            )
 
 
 def parse(sql: str) -> Query:

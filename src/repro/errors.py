@@ -50,6 +50,23 @@ class PlanError(CheetahError):
     """A logical query plan is malformed or references unknown columns."""
 
 
+class Overloaded(CheetahError):
+    """The serving layer shed this request (admission control).
+
+    Raised by :mod:`repro.serve` when a request cannot be admitted or
+    completed: the bounded queue is full, the request's deadline budget
+    is already exhausted (or expired while queued), or the service is
+    draining for shutdown.  ``reason`` is a stable machine-readable tag
+    (``"queue-full"``, ``"deadline"``, ``"shutting-down"``) mirrored into
+    the ``serve_shed_total`` counter labels — a shed request always gets
+    this typed error, never a wrong or partial answer.
+    """
+
+    def __init__(self, message: str, reason: str) -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
 class SharedMemoryUnavailable(CheetahError):
     """OS shared memory could not be allocated for the parallel dataplane.
 

@@ -17,6 +17,7 @@ from .registry import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    histogram_quantile,
     null_registry,
     ratio,
 )
@@ -28,6 +29,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "histogram_quantile",
     "null_registry",
     "ratio",
     "SPAN_BUCKETS",

@@ -53,6 +53,30 @@ def _label_key(labels: Dict[str, str]) -> LabelKey:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def histogram_quantile(histogram: "Histogram", q: float) -> float:
+    """Estimate the ``q``-quantile (0..1) of a fixed-bucket histogram.
+
+    Prometheus-style linear interpolation inside the bucket containing
+    the target rank; observations in the +Inf overflow bucket clamp to
+    the largest finite bound.  Returns 0.0 for an empty histogram.  The
+    serving layer uses this for the p50/p99 figures in its reports.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
+    if histogram.count == 0:
+        return 0.0
+    target = q * histogram.count
+    cumulative = 0
+    lower = 0.0
+    for bound, count in zip(histogram.buckets, histogram.counts):
+        if count and cumulative + count >= target:
+            fraction = (target - cumulative) / count
+            return lower + (bound - lower) * fraction
+        cumulative += count
+        lower = bound
+    return histogram.buckets[-1]
+
+
 class Counter:
     """A monotonically increasing sample."""
 

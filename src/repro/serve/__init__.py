@@ -1,0 +1,46 @@
+"""The query-serving layer: Cheetah as a concurrent service.
+
+Every entry point below this package is a one-shot call —
+:meth:`~repro.engine.cluster.Cluster.run` executes exactly one query and
+returns.  :class:`QueryService` is the front door that turns the engine
+into a service handling many concurrent requests:
+
+* :mod:`~repro.serve.admission` — a bounded request queue with
+  deadline-aware admission control; overload sheds requests with a typed
+  :class:`~repro.errors.Overloaded` error instead of letting latency
+  grow without bound (the NetAccel drain problem, Fig. 7).
+* :mod:`~repro.serve.scheduler` — the pipeline-slot scheduler that
+  co-schedules compatible queued queries into one §6 packed switch
+  program (packing as the batching policy), falling back to solo slots.
+* :mod:`~repro.serve.cache` — compiled-program and result caches keyed
+  by :meth:`~repro.engine.plan.Query.cache_key` + table version,
+  layered on the switch compiler's fit/pack memoization.
+* :mod:`~repro.serve.server` — :class:`QueryService`: worker threads
+  driving ``Cluster.run``/``run_packed`` (and the parallel runner when
+  ``ClusterConfig.parallelism > 1``) with per-request deadlines,
+  graceful drain, and exact-result parity with ``run_verified``.
+* :mod:`~repro.serve.client` — the thin in-process client the
+  ``repro serve`` CLI subcommand drives.
+
+Everything reports into :mod:`repro.obs`: queue-depth and inflight
+gauges, per-tenant latency histograms, shed/cache-hit/pack counters,
+and one span per request phase (queued → scheduled → executed →
+completed).
+"""
+
+from .admission import AdmissionController, Request
+from .cache import ProgramCache, ResultCache
+from .client import ServeClient
+from .scheduler import PackingScheduler, Slot
+from .server import QueryService
+
+__all__ = [
+    "AdmissionController",
+    "PackingScheduler",
+    "ProgramCache",
+    "QueryService",
+    "Request",
+    "ResultCache",
+    "ServeClient",
+    "Slot",
+]

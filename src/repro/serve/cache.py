@@ -1,0 +1,118 @@
+"""Serving-layer caches: compiled programs and exact results.
+
+Both caches key on :meth:`~repro.engine.plan.Query.cache_key` — the
+canonical string over operator, WHERE expression, and stream columns —
+so two textually different SQL strings that parse to the same plan share
+entries.
+
+:class:`ProgramCache` holds compiled switch programs (resource
+footprints) per query plan.  It layers on the switch compiler's own
+memoization (:func:`~repro.switch.compiler.check_fits_cached` and the
+``pack`` cache key on footprint signatures): this cache saves the
+*pruner construction* that produces the footprint, the compiler caches
+save the fit/pack arithmetic on it.
+
+:class:`ResultCache` holds exact query outputs keyed by
+``(cache_key, table_version)``.  The version is bumped whenever the
+service's tables change, so a stale answer can never be served — a miss
+and a fresh streaming pass is always preferred over a fast wrong
+answer.  Outputs are copied on the way in and out so clients mutating a
+returned set/list/Counter cannot corrupt the cached value.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+from collections import OrderedDict
+from typing import Callable, Dict, Tuple
+
+from ..errors import ConfigurationError
+
+
+class _LRU:
+    """A tiny thread-safe LRU map with hit/miss accounting."""
+
+    def __init__(self, max_entries: int) -> None:
+        if max_entries <= 0:
+            raise ConfigurationError(
+                f"cache capacity must be positive, got {max_entries}"
+            )
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[object, object]" = OrderedDict()
+
+    def get(self, key: object) -> Tuple[bool, object]:
+        """``(hit, value)``; a hit refreshes the entry's recency."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return True, self._entries[key]
+            self.misses += 1
+            return False, None
+
+    def put(self, key: object, value: object) -> None:
+        """Insert/refresh ``key``, evicting the least recently used."""
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> Dict[str, int]:
+        """Point-in-time ``{"entries", "hits", "misses"}``."""
+        return {"entries": len(self._entries), "hits": self.hits, "misses": self.misses}
+
+
+class ProgramCache:
+    """Compiled-program (resource footprint) cache per canonical plan."""
+
+    def __init__(self, max_entries: int = 512) -> None:
+        self._lru = _LRU(max_entries)
+
+    def footprint(self, query, build: Callable[[], object]):
+        """The footprint for ``query``, building (and caching) on miss.
+
+        ``build`` constructs the pruner and returns its
+        :meth:`~repro.core.base.Pruner.footprint` — only ever invoked
+        once per canonical plan while the entry stays resident.
+        """
+        key = query.cache_key()
+        hit, footprint = self._lru.get(key)
+        if hit:
+            return footprint
+        footprint = build()
+        self._lru.put(key, footprint)
+        return footprint
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/occupancy accounting for reports."""
+        return self._lru.stats()
+
+
+class ResultCache:
+    """Exact-output cache keyed by ``(cache_key, table_version)``."""
+
+    def __init__(self, max_entries: int = 256) -> None:
+        self._lru = _LRU(max_entries)
+
+    def get(self, cache_key: str, version: int) -> Tuple[bool, object]:
+        """``(hit, output)``; the output is a fresh shallow copy."""
+        hit, output = self._lru.get((cache_key, version))
+        if not hit:
+            return False, None
+        return True, copy.copy(output)
+
+    def put(self, cache_key: str, version: int, output: object) -> None:
+        """Cache ``output`` (a private copy) for this plan + version."""
+        self._lru.put((cache_key, version), copy.copy(output))
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/occupancy accounting for reports."""
+        return self._lru.stats()

@@ -118,6 +118,32 @@ class TestRunPacked:
         assert packed.results[0].op_kind == "distinct"
         assert packed.results[1].op_kind == "groupby"
 
+    def test_packed_report_matches_run_report_shape(self, tables):
+        import json
+
+        queries = [
+            Query(DistinctOp("UserVisits", ("userAgent",))),
+            Query(CountOp("UserVisits", col("duration") > 1800)),
+        ]
+        cluster = Cluster(workers=3)
+        packed_report = cluster.run_packed(queries, tables).report()
+        solo_report = cluster.run(queries[0], tables).report()
+        # Same top-level shape as RunResult.report (plus "queries").
+        assert set(solo_report) <= set(packed_report)
+        assert packed_report["op_kind"] == "packed"
+        assert packed_report["workers"] == 3
+        totals = packed_report["totals"]
+        assert totals["streamed"] == tables["UserVisits"].num_rows
+        assert totals["pruned"] == totals["streamed"] - totals["forwarded"]
+        assert 0.0 <= totals["pruning_rate"] <= 1.0
+        assert [p["name"] for p in packed_report["phases"]] == ["packed-stream"]
+        assert packed_report["phases"][0]["seconds"] is not None
+        # Per-query isolation: each embedded report is a full run report.
+        assert len(packed_report["queries"]) == 2
+        for sub in packed_report["queries"]:
+            assert set(solo_report) <= set(sub)
+        json.dumps(packed_report)  # JSON-ready end to end
+
 
 class TestReflectPoint:
     def test_max_dims_unchanged(self):

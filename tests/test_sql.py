@@ -253,3 +253,73 @@ class TestHavingCount:
         )
         result = Cluster(workers=2).run_verified(q, tables)
         assert result.output == {"McCheetah"}
+
+
+class TestCacheKey:
+    """Query.cache_key(): the serving/compile-memo canonical key."""
+
+    def test_invariant_to_whitespace_and_case(self):
+        variants = (
+            "SELECT COUNT(*) FROM Products WHERE price > 4",
+            "select count(*) from Products where price > 4",
+            "SELECT   COUNT(*)\tFROM Products   WHERE price > 4",
+            "Select Count(*) From Products Where price > 4",
+        )
+        keys = {parse(sql).cache_key() for sql in variants}
+        assert len(keys) == 1
+
+    def test_invariance_holds_across_operator_kinds(self):
+        pairs = (
+            ("SELECT DISTINCT seller FROM Products",
+             "select  distinct seller from Products"),
+            ("SELECT TOP 5 price FROM Products ORDER BY price DESC",
+             "select top 5 price from Products order by price desc"),
+            ("SELECT seller, MAX(price) FROM Products GROUP BY seller",
+             "select seller, max(price) from Products  group by seller"),
+            ("SELECT seller FROM Products GROUP BY seller HAVING COUNT(price) > 1",
+             "select seller from Products group by seller having count(price) > 1"),
+        )
+        for canonical, variant in pairs:
+            assert parse(canonical).cache_key() == parse(variant).cache_key()
+
+    def test_distinct_plans_get_distinct_keys(self):
+        sqls = (
+            "SELECT COUNT(*) FROM Products WHERE price > 4",
+            "SELECT COUNT(*) FROM Products WHERE price > 5",
+            "SELECT COUNT(*) FROM Ratings WHERE taste > 4",
+            "SELECT DISTINCT seller FROM Products",
+            "SELECT DISTINCT seller FROM Products WHERE price > 4",
+        )
+        keys = [parse(sql).cache_key() for sql in sqls]
+        assert len(set(keys)) == len(keys)
+
+    def test_key_is_a_stable_string(self):
+        key = parse("SELECT DISTINCT seller FROM Products").cache_key()
+        assert isinstance(key, str)
+        assert "distinctop" in key and "Products" in key
+        # Stable across repeated parses of the same text.
+        assert key == parse("SELECT DISTINCT seller FROM Products").cache_key()
+
+
+class TestErrorPositions:
+    """Malformed SQL raises PlanError with a position — never a crash."""
+
+    def test_unterminated_string_literal(self):
+        with pytest.raises(PlanError, match="position"):
+            parse("SELECT COUNT(*) FROM T WHERE name = 'oops")
+
+    def test_unknown_operator_token(self):
+        with pytest.raises(PlanError, match="position"):
+            parse("SELECT COUNT(*) FROM T WHERE x @ 5")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(PlanError, match="position"):
+            parse("SELECT DISTINCT seller FROM Products EXTRA tokens here")
+
+    def test_position_points_into_the_text(self):
+        sql = "SELECT COUNT(*) FROM T WHERE x @ 5"
+        with pytest.raises(PlanError) as caught:
+            parse(sql)
+        message = str(caught.value)
+        position = int(message.split("position ")[1].split(":")[0].split(" ")[0])
+        assert sql[position] == "@"

@@ -1,0 +1,167 @@
+"""Fused vs per-pruner execution of packed multi-query streams.
+
+Races ``Cluster.run_packed`` with the fused single-pass dataplane
+(:mod:`repro.switch.fuse`, the default) against the per-pruner batched
+path (``ClusterConfig(fused=False)`` with the same batch size) on two
+packed workloads:
+
+* **packable** — two filters, a COUNT and a deterministic TOP N over
+  the shared columns: every query compiles to a fused kernel, so the
+  inner loop is pure vectorized work with zero intermediate entry
+  tuples.  This is the headline row; the acceptance bar is >= 3x.
+* **mixed** — adds exact DISTINCT and GROUP BY/max: their cache
+  matrices still replay row groups sequentially (the exact-state
+  contract), so the win is smaller and reported honestly.
+
+Every timed configuration's outputs are asserted identical to each
+other *and* to the reference executor before any number is recorded.
+``benchmarks/references/fused_pipelines.reference.json`` pins the
+expected speedups; ``scripts/check_perf_regression.py`` compares a
+fresh run against it with a generous tolerance (ratios are
+host-independent, wall times are not).
+
+Knobs: ``CHEETAH_BENCH_N`` rows (default 1,000,000 — CI smoke uses a
+small value), ``CHEETAH_BENCH_BATCH`` batch size,
+``CHEETAH_BENCH_REPS`` best-of repetitions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.cluster import Cluster, ClusterConfig
+from repro.engine.expressions import col
+from repro.engine.plan import (
+    CountOp,
+    DistinctOp,
+    FilterOp,
+    GroupByOp,
+    Query,
+    TopNOp,
+)
+from repro.engine.reference import run_reference
+from repro.engine.table import Table
+from repro.switch.fuse import clear_fused_cache, fused_cache_stats
+
+from _harness import bench_streams, best_of, emit, env_int, table
+
+BENCH_N = env_int("CHEETAH_BENCH_N", 1_000_000)
+BATCH_SIZE = env_int("CHEETAH_BENCH_BATCH", 65536)
+REPS = env_int("CHEETAH_BENCH_REPS", 3)
+WORKERS = 4
+
+#: The acceptance bar for the fully-fusable packed workload.  Only
+#: asserted at benchmark scale — sub-100k smoke streams are dominated
+#: by fixed setup costs, not the per-batch dataplane being measured.
+TARGET_SPEEDUP = 3.0
+
+
+def _tables() -> dict:
+    streams = bench_streams(BENCH_N)
+    return {
+        "Packed": Table(
+            "Packed",
+            {
+                "price": streams["values"],
+                "qty": streams["qty"],
+                "url": streams["keys"],
+                "agent": streams["group_keys"],
+            },
+        )
+    }
+
+
+def _workloads():
+    packable = [
+        Query(CountOp("Packed", (col("price") > 120.0) & (col("qty") <= 24))),
+        Query(FilterOp("Packed", col("price") > 450.0)),
+        Query(CountOp("Packed", col("qty") <= 4)),
+        Query(TopNOp("Packed", "price", 250)),
+    ]
+    mixed = packable[:2] + [
+        Query(DistinctOp("Packed", ("url",))),
+        Query(GroupByOp("Packed", "agent", "price", "max")),
+    ]
+    return [("packable", packable), ("mixed", mixed)]
+
+
+def _run_packed(queries, tables, fused):
+    config = ClusterConfig(
+        batch_size=BATCH_SIZE, fused=fused, topn_randomized=False
+    )
+    cluster = Cluster(workers=WORKERS, config=config)
+    return cluster.run_packed(queries, tables)
+
+
+def test_fused_pipelines_report():
+    """Race fused vs per-pruner packed passes; emit the comparison table."""
+    tables = _tables()
+    clear_fused_cache()
+    rows = []
+    figures = {
+        "entries": BENCH_N,
+        "batch_size": BATCH_SIZE,
+        "workers": WORKERS,
+        "workloads": {},
+    }
+    for name, queries in _workloads():
+        expected = [run_reference(query, tables) for query in queries]
+        fused_s, fused_result = best_of(
+            lambda: _run_packed(queries, tables, fused=True), REPS
+        )
+        plain_s, plain_result = best_of(
+            lambda: _run_packed(queries, tables, fused=False), REPS
+        )
+        fused_outputs = [r.output for r in fused_result.results]
+        plain_outputs = [r.output for r in plain_result.results]
+        assert fused_outputs == expected, f"{name}: fused output diverges"
+        assert plain_outputs == expected, f"{name}: per-pruner output diverges"
+        assert fused_result.total_streamed == plain_result.total_streamed
+        assert fused_result.total_forwarded == plain_result.total_forwarded
+        speedup = plain_s / fused_s
+        figures["workloads"][name] = {
+            "queries": len(queries),
+            "fused_s": fused_s,
+            "per_pruner_s": plain_s,
+            "fused_entries_per_s": BENCH_N / fused_s,
+            "per_pruner_entries_per_s": BENCH_N / plain_s,
+            "speedup": speedup,
+        }
+        rows.append(
+            [
+                name,
+                len(queries),
+                f"{BENCH_N:,}",
+                f"{BENCH_N / plain_s:,.0f}",
+                f"{BENCH_N / fused_s:,.0f}",
+                f"{speedup:.1f}x",
+            ]
+        )
+    figures["fused_plan_cache"] = fused_cache_stats()
+    lines = table(
+        [
+            "workload",
+            "queries",
+            "entries",
+            "per-pruner entries/s",
+            "fused entries/s",
+            "speedup",
+        ],
+        rows,
+    )
+    lines.append("")
+    lines.append(
+        f"packed stream, batch={BATCH_SIZE:,}, workers={WORKERS}, "
+        f"best-of-{REPS}; outputs verified against the reference executor"
+    )
+    emit("fused_pipelines", lines, figures)
+    if BENCH_N >= 200_000:
+        packable = figures["workloads"]["packable"]["speedup"]
+        assert packable >= TARGET_SPEEDUP, (
+            f"fused packable speedup {packable:.2f}x is below the "
+            f"{TARGET_SPEEDUP:.0f}x acceptance bar"
+        )
+
+
+if __name__ == "__main__":
+    test_fused_pipelines_report()

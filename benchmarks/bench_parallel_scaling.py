@@ -15,7 +15,6 @@ is not expected), and the row count is ``CHEETAH_BENCH_N`` (default
 from __future__ import annotations
 
 import os
-import time
 
 import numpy as np
 
@@ -24,12 +23,12 @@ from repro.engine.expressions import col
 from repro.engine.plan import FilterOp, Query, TopNOp
 from repro.engine.table import Table
 
-from _harness import emit, table
+from _harness import best_of, emit, env_int, table
 
-BENCH_N = int(os.environ.get("CHEETAH_BENCH_N", "1000000"))
-BATCH_SIZE = int(os.environ.get("CHEETAH_BENCH_BATCH", "65536"))
+BENCH_N = env_int("CHEETAH_BENCH_N", 1_000_000)
+BATCH_SIZE = env_int("CHEETAH_BENCH_BATCH", 65536)
 PARALLELISMS = (1, 2, 4)
-REPS = int(os.environ.get("CHEETAH_BENCH_REPS", "2"))
+REPS = env_int("CHEETAH_BENCH_REPS", 2)
 
 
 def _tables() -> dict:
@@ -55,13 +54,8 @@ def _timed_run(query, tables, parallelism):
         batch_size=BATCH_SIZE, parallelism=parallelism, topn_randomized=False
     )
     cluster = Cluster(workers=8, config=config)
-    best, output = float("inf"), None
-    for _ in range(REPS):
-        start = time.perf_counter()
-        result = cluster.run(query, tables)
-        best = min(best, time.perf_counter() - start)
-        output = result.output
-    return best, output
+    seconds, result = best_of(lambda: cluster.run(query, tables), REPS)
+    return seconds, result.output
 
 
 def test_parallel_scaling_report():

@@ -15,7 +15,6 @@ run the same test as a quick smoke on a small stream.
 
 from __future__ import annotations
 
-import os
 import random
 import time
 
@@ -39,12 +38,10 @@ from repro.workloads.synthetic import (
     keyed_values,
     overlapping_key_sets,
     random_order_stream,
-    revenue_stream,
     uniform_points,
-    zipf_keys,
 )
 
-from _harness import emit, table
+from _harness import bench_streams, chunks, emit, env_int, table
 
 STREAM = random_order_stream(5000, 400, seed=1)
 KEYED = keyed_values(5000, 200, seed=2)
@@ -54,8 +51,8 @@ VALUES = [random.Random(4).uniform(0, 1e6) for _ in range(5000)]
 # Scalar-vs-batch comparison knobs.  CHEETAH_BENCH_N is the stream
 # length (CI sets a small value for the smoke run); CHEETAH_BENCH_BATCH
 # is the process_batch chunk size.
-BATCH_N = int(os.environ.get("CHEETAH_BENCH_N", "1000000"))
-BATCH_SIZE = int(os.environ.get("CHEETAH_BENCH_BATCH", "65536"))
+BATCH_N = env_int("CHEETAH_BENCH_N", 1_000_000)
+BATCH_SIZE = env_int("CHEETAH_BENCH_BATCH", 65536)
 
 
 def test_throughput_distinct(benchmark):
@@ -123,15 +120,8 @@ def test_throughput_join_probe(benchmark):
 
 
 def _chunks(array, size=None):
-    """Split an array (or aligned pair of arrays) into batch-size chunks."""
-    size = size or BATCH_SIZE
-    length = len(array[0]) if isinstance(array, tuple) else len(array)
-    if isinstance(array, tuple):
-        return [
-            tuple(part[i : i + size] for part in array)
-            for i in range(0, length, size)
-        ]
-    return [array[i : i + size] for i in range(0, length, size)]
+    """Batch-size chunking via the shared harness helper."""
+    return chunks(array, size or BATCH_SIZE)
 
 
 def _scalar_decisions(pruner, entries):
@@ -156,12 +146,13 @@ def _batch_specs():
     representations are materialized here, outside the timed region.
     """
     n = BATCH_N
-    keys = np.asarray(random_order_stream(n, max(1, n // 10), seed=11), dtype=np.int64)
-    values = np.asarray(revenue_stream(n, seed=12), dtype=np.float64)
-    group_keys = np.asarray(zipf_keys(n, max(1, n // 100), seed=13), dtype=np.int64)
+    streams = bench_streams(n)
+    keys = streams["keys"]
+    values = streams["values"]
+    group_keys = streams["group_keys"]
 
     price = values
-    qty = np.asarray(random_order_stream(n, 50, seed=14), dtype=np.int64)
+    qty = streams["qty"]
     filter_formula = ((col("price") > 120.0) & (col("qty") <= 24)).to_formula(
         ["price", "qty"]
     )
@@ -359,8 +350,8 @@ def test_metrics_overhead_report():
     one counter update per chunk rather than per entry.
     """
     n = BATCH_N
-    price = np.asarray(revenue_stream(n, seed=12), dtype=np.float64)
-    qty = np.asarray(random_order_stream(n, 50, seed=14), dtype=np.int64)
+    streams = bench_streams(n)
+    price, qty = streams["values"], streams["qty"]
     formula = ((col("price") > 120.0) & (col("qty") <= 24)).to_formula(
         ["price", "qty"]
     )

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Gate fused-pipeline performance against checked-in reference ratios.
+
+Usage::
+
+    python scripts/check_perf_regression.py \
+        benchmarks/results/fused_pipelines.metrics.json \
+        [benchmarks/references/fused_pipelines.reference.json]
+
+Compares the *speedup ratios* (fused vs per-pruner) of a fresh
+``bench_fused_pipelines`` run against the reference file.  Ratios, not
+wall times, are the gated quantity: absolute throughput varies wildly
+across hosts and CI runners, but "fusion makes the packed pass N times
+faster on the same machine in the same process" is stable — so a
+collapse of the ratio means the fused dataplane itself regressed.
+
+The tolerance is deliberately generous (a workload fails only when its
+speedup drops below ``reference / tolerance_factor``, 3x by default):
+small smoke streams lose some of the ratio to fixed setup costs, and
+this gate exists to catch "fusion stopped helping", not 10% noise.
+Exit status 1 on any regression, 0 otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_REFERENCE = (
+    Path(__file__).resolve().parent.parent
+    / "benchmarks"
+    / "references"
+    / "fused_pipelines.reference.json"
+)
+
+
+def check(metrics_path: Path, reference_path: Path) -> int:
+    """Validate one metrics envelope; returns a process exit status."""
+    envelope = json.loads(metrics_path.read_text())
+    reference = json.loads(reference_path.read_text())
+    figures = envelope.get("metrics", envelope)
+    workloads = figures.get("workloads")
+    if not isinstance(workloads, dict):
+        print(f"FAIL {metrics_path}: no 'workloads' figures in envelope")
+        return 1
+    tolerance = float(reference.get("tolerance_factor", 3.0))
+    failures = []
+    for name, expected in sorted(reference["speedups"].items()):
+        if name not in workloads:
+            failures.append(f"{name}: missing from the benchmark run")
+            continue
+        measured = float(workloads[name]["speedup"])
+        floor = float(expected) / tolerance
+        verdict = "ok" if measured >= floor else "REGRESSED"
+        print(
+            f"  {name}: fused speedup {measured:.2f}x "
+            f"(reference {expected:.2f}x, floor {floor:.2f}x) {verdict}"
+        )
+        if measured < floor:
+            failures.append(
+                f"{name}: speedup {measured:.2f}x fell below {floor:.2f}x "
+                f"(reference {expected:.2f}x / tolerance {tolerance:.0f}x)"
+            )
+    if failures:
+        print(f"FAIL {metrics_path}:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"OK {metrics_path}: fused speedups within tolerance")
+    return 0
+
+
+def main(argv: list) -> int:
+    if len(argv) < 1 or len(argv) > 2:
+        print(__doc__)
+        return 2
+    metrics_path = Path(argv[0])
+    reference_path = Path(argv[1]) if len(argv) == 2 else DEFAULT_REFERENCE
+    return check(metrics_path, reference_path)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -25,6 +25,7 @@ import numpy as np
 from ..errors import ConfigurationError
 from ..sketches.cachematrix import RollingMinMatrix
 from ..switch.compiler import footprint_topn_det, footprint_topn_rand
+from ..switch.fuse import ladder_pass
 from ..switch.resources import ResourceFootprint
 from .base import Guarantee, PruneDecision, Pruner
 from .sizing import TopNConfig, topn_cols
@@ -114,7 +115,9 @@ class TopNDeterministicPruner(Pruner[float]):
         carried-in counter plus ``cumsum(values >= t_i)[k]`` — the value a
         sequential loop would see right after its own update.  Warmup
         entries (the first ``N`` of the query) replay through the scalar
-        path since they mutate ``t0``.
+        path since they mutate ``t0``.  The ladder itself runs through
+        :func:`~repro.switch.fuse.ladder_pass`, which swaps in the
+        optional numba backend under ``CHEETAH_NUMBA=1``.
         """
         values = np.asarray(entries, dtype=np.float64)
         count = len(values)
@@ -129,11 +132,10 @@ class TopNDeterministicPruner(Pruner[float]):
         rest = values[start:]
         if len(rest) == 0:
             return forward
-        cutoffs = np.full(len(rest), -np.inf)
-        for i, t in enumerate(self._thresholds):
-            counts = self._counters[i] + np.cumsum(rest >= t)
-            cutoffs = np.where(counts >= self.n, t, cutoffs)
-            self._counters[i] = int(counts[-1])
+        thresholds = np.asarray(self._thresholds, dtype=np.float64)
+        counters = np.asarray(self._counters, dtype=np.int64)
+        cutoffs = ladder_pass(rest, thresholds, counters, self.n)
+        self._counters = [int(c) for c in counters]
         forward[start:] = ~(rest < cutoffs)
         self.stats.record_batch(
             len(rest), int(np.count_nonzero(~forward[start:]))

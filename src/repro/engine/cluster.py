@@ -25,7 +25,7 @@ import numpy as np
 
 from ..core.base import PassthroughPruner, PruneDecision, Pruner
 from ..core.distinct import DistinctPruner, FingerprintDistinctPruner
-from ..core.filtering import FilterPruner
+from ..core.filtering import FilterPruner, TruthTable
 from ..core.groupby import GroupByPruner, master_groupby
 from ..core.having import HavingPruner, master_having
 from ..core.join import JoinPruner
@@ -36,6 +36,12 @@ from ..errors import ConfigurationError, PlanError
 from ..faults.injector import FaultInjector
 from ..faults.plan import FaultEvent, FaultPlan
 from ..obs import MetricsRegistry, ratio
+from ..switch.fuse import (
+    FUSED_DEFAULT_BATCH,
+    FusedProgram,
+    plan_fused,
+    record_fallback,
+)
 from ..switch.resources import ResourceModel, TOFINO
 from .plan import (
     CountOp,
@@ -149,6 +155,7 @@ class RunResult:
             ],
             "metrics": self.metrics.to_dict() if self.metrics is not None else {},
             "faults": self.faults,
+            "compile_cache": _compile_cache_report(),
         }
 
 
@@ -222,8 +229,25 @@ class PackedRunResult:
             ],
             "metrics": combined.to_dict(),
             "faults": None,
+            "compile_cache": _compile_cache_report(),
             "queries": [result.report() for result in self.results],
         }
+
+
+def _compile_cache_report() -> dict:
+    """Hit/miss totals of the switch compiler's memoization layers.
+
+    Surfaced on every run report so callers see cache effectiveness
+    without reaching for the module-level helpers: ``fit_pack`` is the
+    fit-check/pack memo (:func:`~repro.switch.compiler.compile_cache_stats`)
+    and ``fused_plans`` the fused-plan memo
+    (:func:`~repro.switch.fuse.fused_cache_stats`).
+    """
+    from ..switch.compiler import compile_cache_stats
+
+    from ..switch.fuse import fused_cache_stats
+
+    return {"fit_pack": compile_cache_stats(), "fused_plans": fused_cache_stats()}
 
 
 @dataclass
@@ -245,6 +269,15 @@ class ClusterConfig:
     """
 
     batch_size: Optional[int] = None
+    #: Execute via the fused single-pass dataplane
+    #: (:mod:`repro.switch.fuse`) where possible: the packed multi-query
+    #: path always (default batch ``FUSED_DEFAULT_BATCH`` when
+    #: ``batch_size`` is None), and the batched single-pass path when
+    #: ``batch_size`` is set.  Programs the fusion layer cannot compile
+    #: (randomized TOP N, fingerprint/multi-column DISTINCT, a stateful
+    #: operator behind a WHERE stage) fall back to the per-pruner path
+    #: automatically, counted by ``fused_fallback_total{reason}``.
+    fused: bool = True
     parallelism: int = 1
     shard_policy: str = "auto"
     distinct_rows: int = 4096
@@ -406,42 +439,81 @@ class Cluster:
         shared = MetricsRegistry()
         phase = PhaseVolume("packed-stream")
         per_query: List[List[Tuple[int, Tuple]]] = [[] for _ in queries]
-        row_base = 0
         with shared.trace("partition"):
             parts = self._partitions(table)
+        # Fused dataplane: compile the packed program once; when every
+        # query fuses, one vectorized pass accumulates all keep-masks and
+        # survivors stay row-id arrays (no per-entry tuples at all).
+        program: Optional[FusedProgram] = None
+        if self.config.fused:
+            plan = plan_fused(queries, columns, self.config)
+            if plan.fused:
+                program = FusedProgram(plan, pruners, registry=shared)
+            else:
+                record_fallback(shared, plan.fallback_reason)
+        survivor_ids: Optional[List[np.ndarray]] = None
         with shared.trace("packed-stream"):
-            for worker, part in enumerate(parts):
-                streamed_before = phase.streamed
-                forwarded_before = phase.forwarded
-                for offset, payload in enumerate(part.iter_rows(columns)):
-                    phase.streamed += 1
-                    any_forward = False
-                    for i, (query, pruner) in enumerate(zip(queries, pruners)):
-                        entry = self._payload_to_entry(
-                            query.operator, columns, payload
-                        )
-                        if pruner.process(entry) is PruneDecision.FORWARD:
-                            any_forward = True
-                            per_query[i].append((row_base + offset, payload))
-                    if any_forward:
-                        phase.forwarded += 1
-                _record_worker_volume(
+            if program is not None:
+                survivor_ids = self._stream_fused(
+                    program,
+                    parts,
+                    columns,
+                    phase,
                     shared,
-                    phase.name,
-                    worker,
-                    phase.streamed - streamed_before,
-                    phase.forwarded - forwarded_before,
+                    self.config.batch_size or FUSED_DEFAULT_BATCH,
                 )
-                row_base += part.num_rows
+            elif self.config.batch_size is not None:
+                self._stream_packed_batched(
+                    queries,
+                    pruners,
+                    parts,
+                    columns,
+                    phase,
+                    shared,
+                    per_query,
+                    self.config.batch_size,
+                )
+            else:
+                row_base = 0
+                for worker, part in enumerate(parts):
+                    streamed_before = phase.streamed
+                    forwarded_before = phase.forwarded
+                    for offset, payload in enumerate(part.iter_rows(columns)):
+                        phase.streamed += 1
+                        any_forward = False
+                        for i, (query, pruner) in enumerate(zip(queries, pruners)):
+                            entry = self._payload_to_entry(
+                                query.operator, columns, payload
+                            )
+                            if pruner.process(entry) is PruneDecision.FORWARD:
+                                any_forward = True
+                                per_query[i].append((row_base + offset, payload))
+                        if any_forward:
+                            phase.forwarded += 1
+                    _record_worker_volume(
+                        shared,
+                        phase.name,
+                        worker,
+                        phase.streamed - streamed_before,
+                        phase.forwarded - forwarded_before,
+                    )
+                    row_base += part.num_rows
         _record_phase(shared, phase)
         results = []
-        for query, pruner, survivors in zip(queries, pruners, per_query):
+        for i, (query, pruner) in enumerate(zip(queries, pruners)):
             # Per-query isolation: each result carries a registry holding
             # only its own pruner's counters and completion span.
             registry = MetricsRegistry()
             kind = _op_kind(query.operator)
             with registry.trace("master-complete"):
-                output = self._complete_single_pass(query, columns, survivors, pruner)
+                if survivor_ids is not None:
+                    output = self._complete_single_pass_arrays(
+                        query, columns, table, survivor_ids[i]
+                    )
+                else:
+                    output = self._complete_single_pass(
+                        query, columns, per_query[i], pruner
+                    )
             _absorb_pruner(registry, pruner, query=kind, role="primary")
             results.append(
                 RunResult(
@@ -848,7 +920,24 @@ class Cluster:
         chaos = _ChaosState()
         with registry.trace("partition"):
             parts = self._partitions(table)
+        # The fused dataplane engages only on batched Cheetah runs (so a
+        # batch_size=None run keeps its exact counter schema) and only
+        # when the single-query program compiles; unfusable programs are
+        # counted and take the per-pruner batched path below.
+        program: Optional[FusedProgram] = None
+        if use_cheetah and batch_size is not None and self.config.fused:
+            plan = plan_fused([query], columns, self.config)
+            if plan.fused:
+                program = FusedProgram(plan, [pruner], registry=registry)
+            else:
+                record_fallback(registry, plan.fallback_reason)
+        fused_ids: Optional[List[np.ndarray]] = None
         with registry.trace("stream"):
+            if program is not None:
+                fused_ids = self._stream_fused(
+                    program, parts, columns, phase, registry, batch_size
+                )
+                parts = []  # fused pass consumed the partitions
             for worker, part in enumerate(parts):
                 streamed_before = phase.streamed
                 forwarded_before = phase.forwarded
@@ -908,7 +997,14 @@ class Cluster:
                 )
                 row_base += part.num_rows
         with registry.trace("master-complete"):
-            output = self._complete_single_pass(query, columns, survivors, pruner)
+            if fused_ids is not None:
+                output = self._complete_single_pass_arrays(
+                    query, columns, table, fused_ids[0]
+                )
+            else:
+                output = self._complete_single_pass(
+                    query, columns, survivors, pruner
+                )
         _record_phase(registry, phase)
         _absorb_pruner(registry, pruner, query=kind, role="primary")
         if where_pruner is not None:
@@ -969,6 +1065,159 @@ class Cluster:
                         tuple(column[local] for column in slices),
                     )
                 )
+
+    def _stream_fused(
+        self,
+        program: FusedProgram,
+        parts: Sequence[Table],
+        columns: Sequence[str],
+        phase: PhaseVolume,
+        registry: MetricsRegistry,
+        batch_size: int,
+    ) -> List[np.ndarray]:
+        """One fused vectorized pass over all partitions.
+
+        Each batch is a tuple of column slices (views into the partition
+        arrays — no copies); :meth:`FusedProgram.run_batch` returns every
+        query's keep-mask plus their union, which is the §6 forward bit.
+        Survivors stay global row-id arrays — the caller does exactly one
+        columnar gather per query at completion time, so no intermediate
+        entry tuples exist anywhere on this path.
+        """
+        per_kernel: List[List[np.ndarray]] = [[] for _ in program.plan.specs]
+        row_base = 0
+        for worker, part in enumerate(parts):
+            streamed_before = phase.streamed
+            forwarded_before = phase.forwarded
+            arrays = [part.column(name) for name in columns]
+            total = part.num_rows
+            for lo in range(0, total, batch_size):
+                hi = min(lo + batch_size, total)
+                slices = tuple(array[lo:hi] for array in arrays)
+                masks, any_forward = program.run_batch(slices)
+                phase.streamed += hi - lo
+                phase.forwarded += int(np.count_nonzero(any_forward))
+                base = row_base + lo
+                for i, mask in enumerate(masks):
+                    ids = np.flatnonzero(mask)
+                    if len(ids):
+                        per_kernel[i].append(ids.astype(np.int64) + base)
+            _record_worker_volume(
+                registry,
+                phase.name,
+                worker,
+                phase.streamed - streamed_before,
+                phase.forwarded - forwarded_before,
+            )
+            row_base += part.num_rows
+        return [
+            np.concatenate(chunks) if chunks else np.empty(0, dtype=np.int64)
+            for chunks in per_kernel
+        ]
+
+    def _stream_packed_batched(
+        self,
+        queries: Sequence[Query],
+        pruners: Sequence[Pruner],
+        parts: Sequence[Table],
+        columns: Sequence[str],
+        phase: PhaseVolume,
+        registry: MetricsRegistry,
+        per_query: List[List[Tuple[int, Tuple]]],
+        batch_size: int,
+    ) -> None:
+        """Per-pruner batched packed pass (the fused path's fallback).
+
+        Each pruner sees the batch through its own entry materialization
+        and survivors are gathered as ``(row_id, payload)`` tuples per
+        query — decisions match the scalar packed loop exactly (each
+        ``process_batch`` is scalar-equivalent), only the dispatch is
+        vectorized.  This is also the fair baseline the fused benchmark
+        races against.
+        """
+        row_base = 0
+        for worker, part in enumerate(parts):
+            streamed_before = phase.streamed
+            forwarded_before = phase.forwarded
+            arrays = [part.column(name) for name in columns]
+            total = part.num_rows
+            for lo in range(0, total, batch_size):
+                hi = min(lo + batch_size, total)
+                slices = tuple(array[lo:hi] for array in arrays)
+                phase.streamed += hi - lo
+                any_forward = np.zeros(hi - lo, dtype=bool)
+                for i, (query, pruner) in enumerate(zip(queries, pruners)):
+                    entries = self._entries_batch(query.operator, columns, slices)
+                    forward = pruner.process_batch(entries)
+                    np.logical_or(any_forward, forward, out=any_forward)
+                    for j in np.flatnonzero(forward):
+                        local = int(j)
+                        per_query[i].append(
+                            (
+                                row_base + lo + local,
+                                tuple(column[local] for column in slices),
+                            )
+                        )
+                phase.forwarded += int(np.count_nonzero(any_forward))
+            _record_worker_volume(
+                registry,
+                phase.name,
+                worker,
+                phase.streamed - streamed_before,
+                phase.forwarded - forwarded_before,
+            )
+            row_base += part.num_rows
+
+    def _complete_single_pass_arrays(
+        self,
+        query: Query,
+        columns: Sequence[str],
+        table: Table,
+        ids: np.ndarray,
+    ) -> object:
+        """Columnar CMaster completion for fused survivors.
+
+        ``ids`` are unique ascending global row ids (the fused pass emits
+        each row at most once per query, in stream order), so the scalar
+        path's fault dedup is a no-op here and one gather per column
+        reconstructs the survivor stream exactly.
+        """
+        op = query.operator
+        gathered = tuple(table.column(name)[ids] for name in columns)
+        count = len(ids)
+        if isinstance(op, (CountOp, FilterOp)):
+            formula = op.predicate.to_formula(columns)
+            keep = TruthTable.from_formula(formula).accepts_batch(gathered, count)
+            if query.where is not None:
+                where_formula = query.where.to_formula(columns)
+                keep &= TruthTable.from_formula(where_formula).accepts_batch(
+                    gathered, count
+                )
+            if isinstance(op, CountOp):
+                return int(np.count_nonzero(keep))
+            return set(ids[keep].tolist())
+        if query.where is not None:
+            where_formula = query.where.to_formula(columns)
+            keep = TruthTable.from_formula(where_formula).accepts_batch(
+                gathered, count
+            )
+            gathered = tuple(column[keep] for column in gathered)
+        if isinstance(op, DistinctOp):
+            if len(op.columns) == 1:
+                return set(gathered[columns.index(op.columns[0])].tolist())
+            parts = [gathered[columns.index(c)] for c in op.columns]
+            return set(zip(*(p.tolist() for p in parts)))
+        if isinstance(op, TopNOp):
+            values = gathered[columns.index(op.order_by)].astype(np.float64)
+            if not op.descending:
+                values = -values
+            top = master_topn(values.tolist(), op.n)
+            return top if op.descending else [-v for v in top]
+        if isinstance(op, GroupByOp):
+            keys = gathered[columns.index(op.key)].tolist()
+            values = gathered[columns.index(op.value)].astype(np.float64).tolist()
+            return master_groupby(list(zip(keys, values)), op.aggregate)
+        raise PlanError(f"no completion for {type(op).__name__}")
 
     def _entries_batch(self, op, columns: Sequence[str], slices: Tuple):
         """Columnar analog of :meth:`_payload_to_entry` for a row batch."""

@@ -27,6 +27,7 @@ from ..core.having import HavingPruner
 from ..core.join import JoinPruner
 from ..core.skyline import SkylinePruner
 from ..obs import MetricsRegistry
+from ..switch.fuse import FusedProgram, plan_fused, record_fallback
 from .shm import attach_columns
 
 
@@ -57,10 +58,24 @@ def run_single_pass_shard(spec: dict) -> dict:
             lo, hi = spec["layout"][1], spec["layout"][2]
             index = None
             arrays = [columns_map[name][lo:hi] for name in columns]
-        cluster = Cluster(workers=1, config=spec["config"])
+        cfg = spec["config"]
+        cluster = Cluster(workers=1, config=cfg)
         pruner = cluster._build_pruner(query, {})
         where_pruner = cluster._build_where_stage(query, columns)
         registry = MetricsRegistry()
+        # Fused kernel under the same engagement rule as the sequential
+        # path (explicit batch_size), so the parent's absorb_sharded merge
+        # reproduces the sequential counter families exactly.  Shard
+        # slices on the "bounds" layout are shared-memory views end to
+        # end: the fused kernel turns them straight into global row ids
+        # with no intermediate column copies.
+        program = None
+        if cfg.fused and cfg.batch_size is not None:
+            plan = plan_fused([query], columns, cfg)
+            if plan.fused:
+                program = FusedProgram(plan, [pruner], registry=registry)
+            else:
+                record_fallback(registry, plan.fallback_reason)
         streamed = forwarded = 0
         id_parts: List[np.ndarray] = []
         total = len(arrays[0]) if arrays else 0
@@ -69,6 +84,18 @@ def run_single_pass_shard(spec: dict) -> dict:
             stop = min(start + batch, total)
             slices = tuple(array[start:stop] for array in arrays)
             streamed += stop - start
+            if program is not None:
+                masks, _ = program.run_batch(slices)
+                positions = np.flatnonzero(masks[0])
+                forwarded += len(positions)
+                if len(positions) == 0:
+                    continue
+                local = positions.astype(np.int64) + start
+                if index is not None:
+                    id_parts.append(index[local])
+                else:
+                    id_parts.append(spec["layout"][1] + local)
+                continue
             if where_pruner is not None:
                 where_idx = np.flatnonzero(where_pruner.process_batch(slices))
                 if len(where_idx) == 0:

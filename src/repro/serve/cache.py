@@ -16,16 +16,18 @@ save the fit/pack arithmetic on it.
 ``(cache_key, table_version)``.  The version is bumped whenever the
 service's tables change, so a stale answer can never be served — a miss
 and a fresh streaming pass is always preferred over a fast wrong
-answer.  Outputs are copied on the way in and out so clients mutating a
-returned set/list/Counter cannot corrupt the cached value.
+answer.  Outputs are frozen once on the way in (:func:`freeze_result`)
+and every hit shares the same read-only view — no per-hit copy, and a
+client attempting to mutate a cached set/list/Counter gets a
+``TypeError`` instead of silently corrupting the cache.
 """
 
 from __future__ import annotations
 
-import copy
 import threading
 from collections import OrderedDict
-from typing import Callable, Dict, Tuple
+from types import MappingProxyType
+from typing import Callable, Dict, Sequence, Tuple
 
 from ..errors import ConfigurationError
 
@@ -70,6 +72,52 @@ class _LRU:
         return {"entries": len(self._entries), "hits": self.hits, "misses": self.misses}
 
 
+class FrozenList(list):
+    """A list whose contents are fixed at construction.
+
+    Compares equal to a plain list with the same elements (``list``'s
+    own ``__eq__`` does the work), so frozen cached outputs remain
+    interchangeable with fresh ones; every mutator raises instead.
+    """
+
+    def _readonly(self, *args, **kwargs):
+        """All mutators funnel here."""
+        raise TypeError("cached results are read-only; copy before mutating")
+
+    append = _readonly
+    extend = _readonly
+    insert = _readonly
+    remove = _readonly
+    pop = _readonly
+    clear = _readonly
+    sort = _readonly
+    reverse = _readonly
+    __setitem__ = _readonly
+    __delitem__ = _readonly
+    __iadd__ = _readonly
+    __imul__ = _readonly
+
+
+def freeze_result(output: object) -> object:
+    """A read-only view of a query output, safe to share across hits.
+
+    ``set`` → ``frozenset``, ``dict``/``Counter`` → ``MappingProxyType``
+    over a private copy, ``list`` → :class:`FrozenList`; scalars pass
+    through.  Each conversion preserves equality with the mutable
+    original, so callers comparing against reference outputs never
+    notice the freeze.
+    """
+    if isinstance(output, (frozenset, MappingProxyType, FrozenList)):
+        return output
+    if isinstance(output, set):
+        return frozenset(output)
+    if isinstance(output, dict):
+        return MappingProxyType(dict(output))
+    if isinstance(output, list):
+        return FrozenList(output)
+    return output
+
+
 class ProgramCache:
     """Compiled-program (resource footprint) cache per canonical plan."""
 
@@ -91,6 +139,28 @@ class ProgramCache:
         self._lru.put(key, footprint)
         return footprint
 
+    def fused_plan(self, queries: Sequence, columns: Sequence[str], config):
+        """The fused plan for a packed slot's queries, built on miss.
+
+        Delegates to :func:`~repro.switch.fuse.plan_fused` (itself
+        memoized module-wide); going through this cache lets the
+        scheduler warm the plan at slot-formation time and surfaces the
+        reuse in the service's ``program_cache`` stats.
+        """
+        key = (
+            "fused",
+            tuple(query.cache_key() for query in queries),
+            tuple(columns),
+        )
+        hit, plan = self._lru.get(key)
+        if hit:
+            return plan
+        from ..switch.fuse import plan_fused
+
+        plan = plan_fused(queries, columns, config)
+        self._lru.put(key, plan)
+        return plan
+
     def stats(self) -> Dict[str, int]:
         """Hit/miss/occupancy accounting for reports."""
         return self._lru.stats()
@@ -103,15 +173,15 @@ class ResultCache:
         self._lru = _LRU(max_entries)
 
     def get(self, cache_key: str, version: int) -> Tuple[bool, object]:
-        """``(hit, output)``; the output is a fresh shallow copy."""
+        """``(hit, output)``; hits share one immutable frozen view."""
         hit, output = self._lru.get((cache_key, version))
         if not hit:
             return False, None
-        return True, copy.copy(output)
+        return True, output
 
     def put(self, cache_key: str, version: int, output: object) -> None:
-        """Cache ``output`` (a private copy) for this plan + version."""
-        self._lru.put((cache_key, version), copy.copy(output))
+        """Cache a frozen view of ``output`` for this plan + version."""
+        self._lru.put((cache_key, version), freeze_result(output))
 
     def stats(self) -> Dict[str, int]:
         """Hit/miss/occupancy accounting for reports."""

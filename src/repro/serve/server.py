@@ -38,6 +38,8 @@ from ..engine.reference import TableMap, run_reference
 from ..engine.sql import parse
 from ..errors import ConfigurationError
 from ..obs import MetricsRegistry, Span, histogram_quantile
+from ..switch.compiler import compile_cache_stats
+from ..switch.fuse import fused_cache_stats
 from .admission import AdmissionController, Request
 from .cache import ProgramCache, ResultCache
 from .scheduler import PackingScheduler, Slot
@@ -463,6 +465,10 @@ class QueryService:
         summary["tables_version"] = self._tables_version
         summary["program_cache"] = self.programs.stats()
         summary["result_cache"] = self.results.stats()
+        summary["compile_cache"] = {
+            "fit_pack": compile_cache_stats(),
+            "fused_plans": fused_cache_stats(),
+        }
         return {
             "benchmark": "serving",
             "artifact": "query-service",

@@ -74,6 +74,11 @@ class CacheMatrix:
         #: Values evicted by rolling replacement (a miss into a full row).
         self.evictions = 0
 
+    @property
+    def seed(self) -> int:
+        """The row-hash seed (part of the matrix's hash-config identity)."""
+        return self._seed
+
     def row_of(self, value: Hashable) -> int:
         """Deterministic row assignment (same value -> same row)."""
         return hash_range(value, self.rows, self._seed ^ 0xD15C)
@@ -106,11 +111,18 @@ class CacheMatrix:
             self.evictions += 1
         return False
 
-    def row_of_batch(self, values: Sequence[Hashable]) -> np.ndarray:
-        """Vectorized :meth:`row_of` over a value array."""
-        return hash_range_batch(values, self.rows, self._seed ^ 0xD15C).astype(
-            np.int64
-        )
+    def row_of_batch(
+        self, values: Sequence[Hashable], canonical: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Vectorized :meth:`row_of` over a value array.
+
+        ``canonical`` lets the fused dataplane reuse one
+        :func:`~repro.sketches.hashing.canonical_batch` pass across
+        every hash that touches the same column.
+        """
+        return hash_range_batch(
+            values, self.rows, self._seed ^ 0xD15C, canonical=canonical
+        ).astype(np.int64)
 
     def lookup_insert_batch(
         self, values: Sequence[Hashable], rows: Optional[np.ndarray] = None
@@ -354,13 +366,26 @@ class KeyedAggregateMatrix:
         #: Keys evicted by rolling replacement.
         self.evictions = 0
 
+    @property
+    def seed(self) -> int:
+        """The row-hash seed (part of the matrix's hash-config identity)."""
+        return self._seed
+
     def row_of(self, key: Hashable) -> int:
         """Deterministic row assignment for ``key``."""
         return hash_range(key, self.rows, self._seed ^ 0x6B)
 
-    def row_of_batch(self, keys: Sequence[Hashable]) -> np.ndarray:
-        """Vectorized :meth:`row_of` over a key array."""
-        return hash_range_batch(keys, self.rows, self._seed ^ 0x6B).astype(np.int64)
+    def row_of_batch(
+        self, keys: Sequence[Hashable], canonical: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Vectorized :meth:`row_of` over a key array.
+
+        ``canonical`` reuses a shared ``canonical_batch`` pass, exactly
+        as in :meth:`CacheMatrix.row_of_batch`.
+        """
+        return hash_range_batch(
+            keys, self.rows, self._seed ^ 0x6B, canonical=canonical
+        ).astype(np.int64)
 
     def observe(
         self, key: Hashable, value: float, row: Optional[int] = None
@@ -391,19 +416,25 @@ class KeyedAggregateMatrix:
         return False
 
     def observe_batch(
-        self, keys: Sequence[Hashable], values: Sequence[float]
+        self,
+        keys: Sequence[Hashable],
+        values: Sequence[float],
+        rows: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Chunked batch driver for :meth:`observe`.
 
         Row assignment is vectorized; each row's entries replay
         sequentially in stream order because a key's prune decision
         depends on the aggregate left by its previous occurrences.
+        ``rows`` short-circuits the row hash when the caller (the fused
+        dataplane) already computed it from a shared digest.
         """
         count = len(keys)
         pruned = np.zeros(count, dtype=bool)
         if count == 0:
             return pruned
-        rows = self.row_of_batch(keys)
+        if rows is None:
+            rows = self.row_of_batch(keys)
         for row, positions in _iter_row_groups(rows):
             for pos in positions:
                 pruned[pos] = self.observe(keys[pos], float(values[pos]), row)

@@ -164,6 +164,16 @@ QUERIES = {
 }
 
 
+def _without_fused(counters):
+    """Drop the fused dataplane's own telemetry (``fused_*``).
+
+    Batched runs execute through the fused kernel by default, which adds
+    batch/digest-share counters the scalar path has no analog for; every
+    counter both paths share must still match exactly.
+    """
+    return {k: v for k, v in counters.items() if not k.startswith("fused_")}
+
+
 @pytest.mark.parametrize("name", sorted(QUERIES))
 @pytest.mark.parametrize("batch_size", [1, 7, 64])
 def test_batch_run_counters_equal_scalar(tables, name, batch_size):
@@ -173,7 +183,7 @@ def test_batch_run_counters_equal_scalar(tables, name, batch_size):
         query, tables
     )
     assert batch.output == scalar.output
-    assert _counters(batch) == _counters(scalar)
+    assert _without_fused(_counters(batch)) == _counters(scalar)
 
 
 def test_multi_phase_counters_equal_scalar(tables):

@@ -396,3 +396,96 @@ def test_metrics_overhead_report():
             f"batch-path metrics overhead {figures['batch']['overhead']:.1%} "
             f"exceeds the 10% budget"
         )
+
+
+def _one_traced_run(traced, query, tables, sample):
+    """Wall time of one end-to-end Cluster.run, traced or not.
+
+    The traced side activates a fresh root context (every engine phase
+    span gets stamped and re-parented) and samples fused kernel batches
+    at rate ``sample``; the untraced side runs the identical cluster
+    with tracing off — the difference is the full hierarchical-tracing
+    tax on the hot path.
+    """
+    from repro.engine.cluster import Cluster, ClusterConfig
+    from repro.obs import TraceContext, trace_context
+
+    cluster = Cluster(
+        workers=5,
+        config=ClusterConfig(
+            batch_size=BATCH_SIZE,
+            fused_trace_sample=sample if traced else 0,
+        ),
+    )
+    start = time.perf_counter()
+    if traced:
+        with trace_context(TraceContext.root()):
+            cluster.run(query, tables)
+    else:
+        cluster.run(query, tables)
+    return time.perf_counter() - start
+
+
+def test_tracing_overhead_report():
+    """Measure the cost of hierarchical tracing on an end-to-end run.
+
+    Races a traced ``Cluster.run`` (active root context, fused batches
+    sampled every 64th) against the identical untraced run, interleaved
+    best-of-5 after a warmup each.  The acceptance bar mirrors the
+    metrics budget: < 10% overhead at benchmark scale.
+    """
+    from repro.engine.expressions import col as ecol
+    from repro.engine.plan import CountOp, Query
+    from repro.engine.table import Table
+
+    n = BATCH_N
+    streams = bench_streams(n)
+    tables = {
+        "products": Table(
+            "products", {"price": streams["values"], "qty": streams["qty"]}
+        )
+    }
+    query = Query(CountOp("products", (ecol("price") > 120.0) & (ecol("qty") <= 24)))
+    sample = 64
+
+    _one_traced_run(True, query, tables, sample)
+    _one_traced_run(False, query, tables, sample)
+    best_on = best_off = float("inf")
+    for _ in range(5):
+        best_on = min(best_on, _one_traced_run(True, query, tables, sample))
+        best_off = min(best_off, _one_traced_run(False, query, tables, sample))
+    overhead = (best_on - best_off) / best_off
+    figures = {
+        "entries": n,
+        "batch_size": BATCH_SIZE,
+        "fused_trace_sample": sample,
+        "traced_s": best_on,
+        "untraced_s": best_off,
+        "overhead": overhead,
+    }
+    emit(
+        "tracing_overhead",
+        [
+            f"Hierarchical tracing overhead on an end-to-end run "
+            f"(stream={n:,}, batch_size={BATCH_SIZE:,}, "
+            f"fused sample=1/{sample})",
+            "",
+        ]
+        + table(
+            ["entries", "traced ms", "untraced ms", "overhead"],
+            [
+                [
+                    f"{n:,}",
+                    f"{best_on * 1000:,.1f}",
+                    f"{best_off * 1000:,.1f}",
+                    f"{overhead:+.1%}",
+                ]
+            ],
+        ),
+        metrics=figures,
+    )
+    # Same noise guard as the metrics budget: only meaningful at scale.
+    if n >= 200_000:
+        assert overhead < 0.10, (
+            f"tracing overhead {overhead:.1%} exceeds the 10% budget"
+        )

@@ -1,0 +1,178 @@
+#!/usr/bin/env python
+"""Validate structured-event artifacts against the expected shape.
+
+Two artifact shapes are accepted (stdlib-only validation — no
+jsonschema dependency):
+
+1. **Event JSONL exports** written by ``EventLog.to_jsonl`` (the
+   ``repro serve --events-out`` artifact): one event object per line.
+2. **Serve reports** written by ``repro serve --metrics-out``: a JSON
+   document whose top-level ``events`` key is a list of event objects.
+
+Every event object must carry an ``int`` ``seq`` (positive; strictly
+increasing within one artifact), string ``kind``/``source``/``message``,
+a ``severity`` drawn from the known set, a numeric ``unix_time``, and a
+``labels`` object mapping strings to strings.
+
+Trace JSONL files (``--trace-out``) may be passed too: any ``.jsonl``
+file whose objects carry ``name``/``seconds`` is validated as a span
+export instead.
+
+Usage::
+
+    python scripts/check_event_schema.py serve_events.jsonl serve.metrics.json
+
+Exits non-zero (printing one line per problem) if any file fails.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import List, Optional
+
+#: Mirror of repro.obs.events.SEVERITIES (kept dependency-free).
+SEVERITIES = ("info", "warning", "error", "critical")
+
+
+def _is_labels(obj) -> bool:
+    return isinstance(obj, dict) and all(
+        isinstance(k, str) and isinstance(v, str) for k, v in obj.items()
+    )
+
+
+def check_event(event, where: str, problems: List[str],
+                prev_seq: Optional[int] = None) -> Optional[int]:
+    """Validate one event object; return its seq for monotonicity checks."""
+    if not isinstance(event, dict):
+        problems.append(f"{where}: event is not an object")
+        return prev_seq
+    seq = event.get("seq")
+    if not isinstance(seq, int) or isinstance(seq, bool) or seq <= 0:
+        problems.append(f"{where}: 'seq' must be a positive int, got {seq!r}")
+        seq = None
+    elif prev_seq is not None and seq <= prev_seq:
+        problems.append(
+            f"{where}: 'seq' {seq} not greater than previous {prev_seq}"
+        )
+    for key in ("kind", "source", "message"):
+        if not isinstance(event.get(key), str) or not event.get(key):
+            problems.append(
+                f"{where}: {key!r} must be a non-empty string, "
+                f"got {event.get(key)!r}"
+            )
+    severity = event.get("severity")
+    if severity not in SEVERITIES:
+        problems.append(
+            f"{where}: 'severity' {severity!r} not in {SEVERITIES}"
+        )
+    unix_time = event.get("unix_time")
+    if not isinstance(unix_time, (int, float)) or isinstance(unix_time, bool):
+        problems.append(
+            f"{where}: 'unix_time' must be numeric, got {unix_time!r}"
+        )
+    if not _is_labels(event.get("labels")):
+        problems.append(f"{where}: 'labels' must map strings to strings")
+    return seq if seq is not None else prev_seq
+
+
+def check_span(span, where: str, problems: List[str]) -> None:
+    """Validate one span object from a trace JSONL export."""
+    if not isinstance(span, dict):
+        problems.append(f"{where}: span is not an object")
+        return
+    if not isinstance(span.get("name"), str) or not span.get("name"):
+        problems.append(f"{where}: span 'name' must be a non-empty string")
+    seconds = span.get("seconds")
+    if not isinstance(seconds, (int, float)) or isinstance(seconds, bool):
+        problems.append(f"{where}: span 'seconds' must be numeric")
+    if not _is_labels(span.get("labels")):
+        problems.append(f"{where}: span 'labels' must map strings to strings")
+    # Trace exports only ever contain trace-placed spans.
+    for key in ("trace_id", "span_id"):
+        if not isinstance(span.get(key), str) or not span.get(key):
+            problems.append(
+                f"{where}: span {key!r} must be a non-empty string"
+            )
+    parent = span.get("parent_id")
+    if parent is not None and not isinstance(parent, str):
+        problems.append(f"{where}: span 'parent_id' must be a string or null")
+
+
+def check_jsonl(path: str, problems: List[str]) -> None:
+    """Validate one JSONL file of events or trace spans."""
+    before = len(problems)
+    rows = []
+    try:
+        with open(path) as handle:
+            for number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rows.append((number, json.loads(line)))
+                except ValueError as error:
+                    problems.append(f"{path}:{number}: bad JSON ({error})")
+    except OSError as error:
+        problems.append(f"{path}: unreadable ({error})")
+        return
+    if not rows:
+        problems.append(f"{path}: empty artifact (no JSON lines)")
+        return
+    # Spans carry name/seconds; events carry seq/kind.  Classify off the
+    # first row so a mixed file is flagged rather than half-validated.
+    is_trace = isinstance(rows[0][1], dict) and "seconds" in rows[0][1]
+    prev_seq: Optional[int] = None
+    for number, row in rows:
+        where = f"{path}:{number}"
+        if is_trace:
+            check_span(row, where, problems)
+        else:
+            prev_seq = check_event(row, where, problems, prev_seq)
+    if len(problems) == before:
+        label = "span" if is_trace else "event"
+        print(f"{path}: {len(rows)} {label}(s) ok")
+
+
+def check_report(path: str, problems: List[str]) -> None:
+    """Validate the 'events' list inside a serve report JSON document."""
+    before = len(problems)
+    try:
+        with open(path) as handle:
+            doc = json.load(handle)
+    except (OSError, ValueError) as error:
+        problems.append(f"{path}: unreadable ({error})")
+        return
+    if not isinstance(doc, dict) or not isinstance(doc.get("events"), list):
+        problems.append(f"{path}: no top-level 'events' list")
+        return
+    prev_seq: Optional[int] = None
+    for index, event in enumerate(doc["events"]):
+        prev_seq = check_event(
+            event, f"{path}: events[{index}]", problems, prev_seq
+        )
+    if len(problems) == before:
+        print(f"{path}: {len(doc['events'])} event(s) ok")
+
+
+def main(argv: List[str]) -> int:
+    """Validate every path given; return 0 only if all pass."""
+    if not argv:
+        print(
+            "usage: check_event_schema.py EVENTS.jsonl|REPORT.json [...]",
+            file=sys.stderr,
+        )
+        return 2
+    problems: List[str] = []
+    for path in argv:
+        if path.endswith(".jsonl"):
+            check_jsonl(path, problems)
+        else:
+            check_report(path, problems)
+    for problem in problems:
+        print(f"SCHEMA: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

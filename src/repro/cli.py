@@ -128,6 +128,31 @@ def _build_parser() -> argparse.ArgumentParser:
                                 "executor inside the service")
     serve_cmd.add_argument("--metrics-out", metavar="PATH", default=None,
                            help="write the service report (JSON envelope) to PATH")
+    serve_cmd.add_argument("--trace-out", metavar="PATH", default=None,
+                           help="write the request trace spans (JSONL) to PATH "
+                                "(render with 'repro trace PATH')")
+    serve_cmd.add_argument("--events-out", metavar="PATH", default=None,
+                           help="write the structured event log (JSONL) to PATH")
+    serve_cmd.add_argument("--fused-trace-sample", type=int, default=0,
+                           help="sample every Nth fused kernel batch as a "
+                                "trace span (default 0: disabled)")
+
+    trace_cmd = sub.add_parser(
+        "trace", help="render a trace JSONL export (see serve --trace-out) as trees"
+    )
+    trace_cmd.add_argument("path", help="a JSONL trace file")
+    trace_cmd.add_argument("--trace-id", default=None,
+                           help="show only this trace id")
+    trace_cmd.add_argument("--limit", type=int, default=None,
+                           help="show at most this many traces")
+
+    health_cmd = sub.add_parser(
+        "health",
+        help="print the signature health and event snapshot of a service report",
+    )
+    health_cmd.add_argument("path", help="a JSON report written by serve --metrics-out")
+    health_cmd.add_argument("--events", type=int, default=20,
+                            help="most recent events to show (default 20)")
 
     sub.add_parser("table2", help="print the Table 2 resource footprints")
     sub.add_parser("workloads", help="list the generated tables and columns")
@@ -345,7 +370,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     tables = bigdata.tables(scale, seed=args.seed)
     expected = {sql: run_reference(parse(sql), tables) for sql in _SERVE_WORKLOAD}
-    config = ClusterConfig(parallelism=args.parallelism, seed=args.seed)
+    config = ClusterConfig(
+        parallelism=args.parallelism,
+        seed=args.seed,
+        fused_trace_sample=args.fused_trace_sample,
+    )
     service = QueryService(
         tables,
         workers=args.workers,
@@ -407,11 +436,64 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(f"results  : {'ALL EXACT' if exact else 'MISMATCH'}; "
           f"drained cleanly (queue={summary['queue_depth']}, "
           f"inflight={summary['inflight']})")
+    degraded = summary.get("degraded_signatures", [])
+    print(f"health   : {len(report.get('health', []))} signatures tracked, "
+          f"{len(degraded)} degraded, "
+          f"{len(report.get('events', []))} events retained")
     if args.metrics_out is not None:
         with open(args.metrics_out, "w") as handle:
             json.dump(report, handle, indent=2, sort_keys=True)
         print(f"metrics  : written to {args.metrics_out}")
+    if args.trace_out is not None:
+        count = service.export_trace(args.trace_out)
+        print(f"trace    : {count} spans written to {args.trace_out}")
+    if args.events_out is not None:
+        count = service.export_events(args.events_out)
+        print(f"events   : {count} events written to {args.events_out}")
     return 0 if exact else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .obs import format_trace_tree, load_trace_jsonl
+
+    spans = load_trace_jsonl(args.path)
+    lines = format_trace_tree(spans, trace_id=args.trace_id, limit=args.limit)
+    if not lines:
+        print("no trace-placed spans found")
+        return 1
+    for line in lines:
+        print(line)
+    return 0
+
+
+def _cmd_health(args: argparse.Namespace) -> int:
+    with open(args.path) as handle:
+        report = json.load(handle)
+    signatures = report.get("health", [])
+    events = report.get("events", [])
+    if not signatures and not events:
+        print("no health data in this report (not a serve --metrics-out file?)")
+        return 1
+    for entry in signatures:
+        flags = ",".join(entry.get("degraded", [])) or "healthy"
+        print(f"signature: {entry['signature']}")
+        print(f"  runs={entry['runs']} window={entry['window']} "
+              f"p50={entry['latency_p50_ms']:.2f}ms "
+              f"p99={entry['latency_p99_ms']:.2f}ms [{flags}]")
+        for key in ("pruning_ratio", "pruning_ratio_fast", "pruning_ratio_slow",
+                    "bloom_fill", "bloom_fpr", "cache_fill", "cache_hit_rate"):
+            if key in entry and entry[key] is not None:
+                print(f"  {key:20s} {entry[key]:.4f}")
+    if events:
+        print(f"events ({len(events)} retained, showing last {args.events}):")
+        for event in events[-args.events:]:
+            labels = ",".join(
+                f"{k}={v}" for k, v in sorted(event.get("labels", {}).items())
+            )
+            print(f"  #{event['seq']} [{event['severity']}] "
+                  f"{event['kind']}/{event['source']}: {event['message']}"
+                  f"{'  (' + labels + ')' if labels else ''}")
+    return 0
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
@@ -450,6 +532,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "metrics": _cmd_metrics,
         "chaos": _cmd_chaos,
         "serve": _cmd_serve,
+        "trace": _cmd_trace,
+        "health": _cmd_health,
         "table2": _cmd_table2,
         "workloads": _cmd_workloads,
     }

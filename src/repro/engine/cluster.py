@@ -311,11 +311,21 @@ class ClusterConfig:
     #: ``"auto"`` picks by the filters' fill ratio (a nearly-full filter
     #: barely prunes, so rebuilding it is wasted traffic).
     degrade_policy: str = "auto"
+    #: Sample every Nth fused kernel batch as a ``fused-batch`` trace
+    #: span (0, the default, disables per-batch spans entirely).  Only
+    #: meaningful when a request :class:`~repro.obs.TraceContext` is
+    #: active; keep the stride large — per-batch spans are the most
+    #: voluminous signal the tracer can produce.
+    fused_trace_sample: int = 0
 
     def __post_init__(self) -> None:
         if self.batch_size is not None and self.batch_size <= 0:
             raise ConfigurationError(
                 f"batch_size must be positive or None, got {self.batch_size}"
+            )
+        if self.fused_trace_sample < 0:
+            raise ConfigurationError(
+                f"fused_trace_sample must be >= 0, got {self.fused_trace_sample}"
             )
         if self.degrade_policy not in ("auto", "rebuild", "passthrough"):
             raise ConfigurationError(
@@ -448,7 +458,12 @@ class Cluster:
         if self.config.fused:
             plan = plan_fused(queries, columns, self.config)
             if plan.fused:
-                program = FusedProgram(plan, pruners, registry=shared)
+                program = FusedProgram(
+                    plan,
+                    pruners,
+                    registry=shared,
+                    trace_sample=self.config.fused_trace_sample,
+                )
             else:
                 record_fallback(shared, plan.fallback_reason)
         survivor_ids: Optional[List[np.ndarray]] = None
@@ -928,7 +943,12 @@ class Cluster:
         if use_cheetah and batch_size is not None and self.config.fused:
             plan = plan_fused([query], columns, self.config)
             if plan.fused:
-                program = FusedProgram(plan, [pruner], registry=registry)
+                program = FusedProgram(
+                    plan,
+                    [pruner],
+                    registry=registry,
+                    trace_sample=self.config.fused_trace_sample,
+                )
             else:
                 record_fallback(registry, plan.fallback_reason)
         fused_ids: Optional[List[np.ndarray]] = None

@@ -1,0 +1,376 @@
+"""Per-query-signature health: rolling windows and EWMA drift detection.
+
+The adaptive runtime the roadmap points at needs *runtime* signals —
+pruning ratio, bloom fill and false-positive rate, cache-matrix hit
+rate, fused-fallback frequency, latency quantiles — observed live, per
+query signature (:meth:`~repro.lang.query.Query.cache_key`), because the
+value of switch pruning is a property of the data and workload, not of
+the plan alone.  :class:`HealthStore` keeps bounded rolling windows of
+those signals per signature and runs cheap drift detectors over them:
+
+* **pruning-ratio collapse** — a fast EWMA of the pruning ratio falling
+  well below its slow baseline means the data drifted away from what the
+  switch configuration prunes well (the Cheetah paper's thresholds were
+  sized for a distribution that no longer holds);
+* **monotone bloom fill growth** — a dedup/distinct bloom filter whose
+  fill ratio only ever grows toward saturation is on a path to a useless
+  always-forward filter;
+* **threshold crossings** — bloom FPR or cache-matrix occupancy past a
+  configured alarm level.
+
+Detections emit structured ``degradation`` events into an
+:class:`~repro.obs.events.EventLog` (with hysteresis: one event per
+excursion, a recovery resets the detector), which is exactly the signal
+stream a future auto-resize/hot-swap loop consumes.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Dict, List, Optional
+
+from ..errors import ConfigurationError
+
+#: Gauge families sampled from a run's metrics into the health windows.
+_GAUGE_SIGNALS = {
+    "bloom_fill": "bloom_fill_ratio",
+    "bloom_fpr": "bloom_false_positive_rate",
+    "cache_occupancy": "cache_matrix_occupancy",
+    "cache_fill": "cache_matrix_fill_ratio",
+}
+
+
+def _quantile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank quantile of an already-sorted non-empty list."""
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[index]
+
+
+def _max_gauge(gauges: Dict[str, float], family: str) -> Optional[float]:
+    """The largest sample of a gauge family, or None when absent.
+
+    Gauge maps key samples as ``"name{k=v,...}"``; a family may have
+    several labeled samples (one per pruner), and the most-loaded one is
+    the health-relevant figure.
+    """
+    prefix = family + "{"
+    values = [v for k, v in gauges.items() if k.startswith(prefix)]
+    return max(values) if values else None
+
+
+class SignatureHealth:
+    """Rolling signal windows and detector state for one query signature."""
+
+    def __init__(self, signature: str, window: int) -> None:
+        """Create empty windows of length ``window`` for ``signature``."""
+        self.signature = signature
+        self.runs = 0
+        self.pruning_ratio: deque = deque(maxlen=window)
+        self.latency_s: deque = deque(maxlen=window)
+        self.signals: Dict[str, deque] = {
+            name: deque(maxlen=window)
+            for name in list(_GAUGE_SIGNALS) + ["cache_hit_rate"]
+        }
+        self.fused_fallbacks = 0
+        # EWMA pair for drift detection: the fast average tracks the
+        # recent workload, the slow one the historical baseline.
+        self.fast_pruning: Optional[float] = None
+        self.slow_pruning: Optional[float] = None
+        # Length of the current strictly-increasing bloom-fill run.
+        self.fill_growth_run = 0
+        # Hysteresis: which degradations are currently active, so each
+        # excursion emits exactly one event.
+        self.active: Dict[str, bool] = {}
+
+    def snapshot(self) -> dict:
+        """JSON-ready summary of this signature's current health."""
+        latencies = sorted(self.latency_s)
+        out = {
+            "signature": self.signature,
+            "runs": self.runs,
+            "window": len(self.pruning_ratio),
+            "latency_samples": len(self.latency_s),
+            "fused_fallbacks": self.fused_fallbacks,
+            "latency_p50_ms": _quantile(latencies, 0.50) * 1000.0,
+            "latency_p99_ms": _quantile(latencies, 0.99) * 1000.0,
+            "degraded": sorted(k for k, v in self.active.items() if v),
+        }
+        if self.pruning_ratio:
+            out["pruning_ratio"] = self.pruning_ratio[-1]
+            out["pruning_ratio_fast"] = self.fast_pruning
+            out["pruning_ratio_slow"] = self.slow_pruning
+        for name, window in self.signals.items():
+            if window:
+                out[name] = window[-1]
+        return out
+
+
+class HealthStore:
+    """Bounded per-signature health windows with EWMA drift detectors.
+
+    One store serves a whole :class:`~repro.serve.server.QueryService`;
+    all methods are thread-safe.  Signature count is bounded
+    (``max_signatures``, least-recently-observed evicted) so adversarial
+    workloads cannot grow the store without bound.
+    """
+
+    def __init__(
+        self,
+        window: int = 64,
+        registry=None,
+        events=None,
+        max_signatures: int = 256,
+        min_samples: int = 8,
+        collapse_ratio: float = 0.5,
+        collapse_floor: float = 0.05,
+        fill_alarm: float = 0.9,
+        fill_growth_run: int = 8,
+        fpr_alarm: float = 0.1,
+        occupancy_alarm: float = 0.95,
+        fast_alpha: float = 0.3,
+        slow_alpha: float = 0.05,
+    ) -> None:
+        """Create a store.
+
+        ``window`` bounds each rolling window; ``min_samples`` gates the
+        detectors (no verdicts on thin evidence).  A pruning collapse
+        fires when the fast EWMA drops below ``collapse_ratio`` × the
+        slow baseline while the baseline itself is at least
+        ``collapse_floor`` (queries that never pruned are not "collapsing").
+        ``fill_growth_run`` monotone bloom-fill increases ending at or
+        above ``fill_alarm`` flag saturation; ``fpr_alarm`` (bloom FPR)
+        and ``occupancy_alarm`` (cache-matrix occupied *fraction*) are
+        plain threshold detectors.
+        """
+        if window <= 0:
+            raise ConfigurationError(f"health window must be positive, got {window}")
+        if max_signatures <= 0:
+            raise ConfigurationError(
+                f"max_signatures must be positive, got {max_signatures}"
+            )
+        if not 0.0 < fast_alpha <= 1.0 or not 0.0 < slow_alpha <= 1.0:
+            raise ConfigurationError("EWMA alphas must be in (0, 1]")
+        self.window = window
+        self.max_signatures = max_signatures
+        self.min_samples = min_samples
+        self.collapse_ratio = collapse_ratio
+        self.collapse_floor = collapse_floor
+        self.fill_alarm = fill_alarm
+        self.fill_growth_run = fill_growth_run
+        self.fpr_alarm = fpr_alarm
+        self.occupancy_alarm = occupancy_alarm
+        self.fast_alpha = fast_alpha
+        self.slow_alpha = slow_alpha
+        self._registry = registry
+        self._events = events
+        self._lock = threading.Lock()
+        # Insertion order is recency order (moved-to-end on observe).
+        self._signatures: Dict[str, SignatureHealth] = {}
+
+    # -- ingestion -----------------------------------------------------------
+
+    def observe_run(self, signature: str, result, latency_s: float) -> None:
+        """Record one completed engine run for ``signature``.
+
+        ``result`` is a :class:`~repro.engine.cluster.RunResult` (or
+        packed equivalent exposing ``pruning_rate`` and ``metrics``);
+        pruning ratio, bloom/cache gauges, and fused-fallback counts are
+        sampled from it, then the drift detectors run.
+        """
+        with self._lock:
+            entry = self._touch_locked(signature)
+            entry.runs += 1
+            entry.latency_s.append(float(latency_s))
+            pruning = float(result.pruning_rate)
+            entry.pruning_ratio.append(pruning)
+            if entry.fast_pruning is None:
+                entry.fast_pruning = pruning
+                entry.slow_pruning = pruning
+            else:
+                entry.fast_pruning += self.fast_alpha * (pruning - entry.fast_pruning)
+                entry.slow_pruning += self.slow_alpha * (pruning - entry.slow_pruning)
+            metrics = getattr(result, "metrics", None)
+            fallbacks = 0
+            if metrics is not None:
+                gauges = metrics.gauge_values()
+                for signal, family in _GAUGE_SIGNALS.items():
+                    value = _max_gauge(gauges, family)
+                    if value is not None:
+                        window = entry.signals[signal]
+                        if (
+                            signal == "bloom_fill"
+                            and window
+                            and value > window[-1]
+                        ):
+                            entry.fill_growth_run += 1
+                        elif signal == "bloom_fill":
+                            entry.fill_growth_run = 0
+                        window.append(value)
+                hits = _max_gauge(gauges, "cache_matrix_hits")
+                misses = _max_gauge(gauges, "cache_matrix_misses")
+                if hits is not None and misses is not None and hits + misses > 0:
+                    entry.signals["cache_hit_rate"].append(hits / (hits + misses))
+                fallbacks = sum(
+                    value
+                    for key, value in metrics.counter_values().items()
+                    if key.startswith("fused_fallback_total{")
+                )
+            entry.fused_fallbacks += fallbacks
+            self._detect_locked(entry)
+
+    def observe_latency(self, signature: str, latency_s: float) -> None:
+        """Record latency only (serving-cache hits run no engine pass)."""
+        with self._lock:
+            entry = self._touch_locked(signature)
+            entry.latency_s.append(float(latency_s))
+
+    def _touch_locked(self, signature: str) -> SignatureHealth:
+        entry = self._signatures.pop(signature, None)
+        if entry is None:
+            entry = SignatureHealth(signature, self.window)
+            while len(self._signatures) >= self.max_signatures:
+                # Oldest-observed signature falls off first.
+                evicted = next(iter(self._signatures))
+                del self._signatures[evicted]
+        self._signatures[signature] = entry
+        return entry
+
+    # -- detectors -----------------------------------------------------------
+
+    def _detect_locked(self, entry: SignatureHealth) -> None:
+        if entry.runs >= self.min_samples:
+            self._detect_collapse_locked(entry)
+            self._detect_fill_growth_locked(entry)
+            self._detect_threshold_locked(
+                entry,
+                "bloom_fpr_alarm",
+                entry.signals["bloom_fpr"],
+                self.fpr_alarm,
+                "bloom false-positive rate",
+            )
+            # Alarm on the occupied *fraction* (0..1) — the raw
+            # cache_occupancy window is an absolute cell count.
+            self._detect_threshold_locked(
+                entry,
+                "cache_fill_alarm",
+                entry.signals["cache_fill"],
+                self.occupancy_alarm,
+                "cache-matrix fill ratio",
+            )
+
+    def _detect_collapse_locked(self, entry: SignatureHealth) -> None:
+        fast, slow = entry.fast_pruning, entry.slow_pruning
+        if fast is None or slow is None or slow < self.collapse_floor:
+            return
+        collapsed = fast < self.collapse_ratio * slow
+        if collapsed and not entry.active.get("pruning_collapse"):
+            entry.active["pruning_collapse"] = True
+            self._emit_locked(
+                entry,
+                "pruning_collapse",
+                "pruning ratio collapsed to "
+                f"{fast:.3f} (baseline {slow:.3f})",
+                severity="warning",
+                fast=f"{fast:.4f}",
+                slow=f"{slow:.4f}",
+            )
+        elif entry.active.get("pruning_collapse") and fast > 0.9 * slow:
+            # Recovery: re-arm so the next excursion emits again.
+            entry.active["pruning_collapse"] = False
+
+    def _detect_fill_growth_locked(self, entry: SignatureHealth) -> None:
+        window = entry.signals["bloom_fill"]
+        saturating = (
+            entry.fill_growth_run >= self.fill_growth_run
+            and bool(window)
+            and window[-1] >= self.fill_alarm
+        )
+        if saturating and not entry.active.get("bloom_fill_growth"):
+            entry.active["bloom_fill_growth"] = True
+            self._emit_locked(
+                entry,
+                "bloom_fill_growth",
+                f"bloom fill grew {entry.fill_growth_run} runs in a row "
+                f"to {window[-1]:.3f}",
+                severity="warning",
+                fill=f"{window[-1]:.4f}",
+                run=str(entry.fill_growth_run),
+            )
+        elif entry.active.get("bloom_fill_growth") and (
+            not window or window[-1] < self.fill_alarm
+        ):
+            entry.active["bloom_fill_growth"] = False
+
+    def _detect_threshold_locked(
+        self,
+        entry: SignatureHealth,
+        detector: str,
+        window: deque,
+        alarm: float,
+        what: str,
+    ) -> None:
+        if not window:
+            return
+        value = window[-1]
+        if value >= alarm and not entry.active.get(detector):
+            entry.active[detector] = True
+            self._emit_locked(
+                entry,
+                detector,
+                f"{what} {value:.3f} crossed alarm level {alarm:.3f}",
+                severity="warning",
+                value=f"{value:.4f}",
+                alarm=f"{alarm:.4f}",
+            )
+        elif entry.active.get(detector) and value < alarm:
+            entry.active[detector] = False
+
+    def _emit_locked(
+        self,
+        entry: SignatureHealth,
+        detector: str,
+        message: str,
+        severity: str,
+        **labels: object,
+    ) -> None:
+        if self._registry is not None:
+            self._registry.counter(
+                "health_degradations_total",
+                "Degradation events emitted by the health detectors.",
+                detector=detector,
+            ).inc()
+        if self._events is not None:
+            self._events.emit(
+                "degradation",
+                message,
+                source="health",
+                severity=severity,
+                detector=detector,
+                signature=entry.signature,
+                **labels,
+            )
+
+    # -- reporting -----------------------------------------------------------
+
+    def snapshot(self) -> List[dict]:
+        """Per-signature health summaries, most recently observed first."""
+        with self._lock:
+            entries = list(self._signatures.values())
+        return [entry.snapshot() for entry in reversed(entries)]
+
+    def degraded_signatures(self) -> List[str]:
+        """Signatures with at least one currently-active degradation."""
+        with self._lock:
+            return [
+                entry.signature
+                for entry in self._signatures.values()
+                if any(entry.active.values())
+            ]
+
+    def __len__(self) -> int:
+        """How many signatures the store currently tracks."""
+        with self._lock:
+            return len(self._signatures)

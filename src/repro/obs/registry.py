@@ -26,7 +26,9 @@ measured — ``benchmarks/bench_throughput.py`` races the two.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+import math
+from collections import deque
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError
 
@@ -179,6 +181,67 @@ class _NullHistogram(Histogram):
         """Discard the observation."""
 
 
+class SpanRing:
+    """A bounded, list-compatible span store (drop-oldest on overflow).
+
+    Long-running services append spans per request; an unbounded list is
+    a slow memory leak.  The ring keeps the newest ``maxlen`` spans and
+    invokes ``on_drop`` once per discarded span, which the registry wires
+    to a ``spans_dropped_total`` counter so the loss is visible rather
+    than silent.  Supports the same operations the plain list did
+    (``append``/``extend``/``clear``/iteration/indexing), so every
+    existing caller works unchanged.
+    """
+
+    __slots__ = ("maxlen", "_items", "_on_drop")
+
+    def __init__(
+        self,
+        maxlen: int,
+        items: Iterable = (),
+        on_drop: Optional[Callable[[], None]] = None,
+    ) -> None:
+        if maxlen <= 0:
+            raise ConfigurationError(
+                f"span ring capacity must be positive, got {maxlen}"
+            )
+        self.maxlen = maxlen
+        self._items: deque = deque()
+        self._on_drop = on_drop
+        self.extend(items)
+
+    def append(self, span) -> None:
+        """Add one span, evicting the oldest beyond capacity."""
+        self._items.append(span)
+        while len(self._items) > self.maxlen:
+            self._items.popleft()
+            if self._on_drop is not None:
+                self._on_drop()
+
+    def extend(self, spans: Iterable) -> None:
+        """Append every span of ``spans`` in order."""
+        for span in spans:
+            self.append(span)
+
+    def clear(self) -> None:
+        """Drop every retained span (does not count as overflow drops)."""
+        self._items.clear()
+
+    def __iter__(self):
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return list(self._items)[index]
+        return self._items[index]
+
+
 class _Family:
     """One named metric: its kind, help string, and labeled samples."""
 
@@ -292,6 +355,20 @@ class MetricsRegistry:
         from .tracing import trace
 
         return trace(self, name, **labels)
+
+    def cap_spans(self, max_spans: int) -> None:
+        """Bound :attr:`spans` to a :class:`SpanRing` of ``max_spans``.
+
+        Long-running owners (the serving layer) call this once at
+        construction: already-recorded spans are retained up to the cap,
+        and every span evicted later increments ``spans_dropped_total``.
+        Idempotent in effect — calling again re-caps at the new size.
+        """
+        dropped = self.counter(
+            "spans_dropped_total",
+            "Spans evicted from the bounded span ring (oldest first).",
+        )
+        self.spans = SpanRing(max_spans, items=self.spans, on_drop=dropped.inc)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -537,6 +614,12 @@ def _render_labels(labels: Dict[str, str], **extra: str) -> str:
 def _format_value(value: float) -> str:
     if isinstance(value, int):
         return str(value)
+    # Prometheus spells non-finite floats "+Inf"/"-Inf"/"NaN"; Python's
+    # repr ("inf"/"nan") is not parseable exposition text.
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
     if value == int(value) and abs(value) < 1e15:
         return str(int(value))
     return repr(value)

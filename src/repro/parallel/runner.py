@@ -45,6 +45,7 @@ from ..engine.plan import CountOp, FilterOp, DistinctOp, GroupByOp, HavingOp, Jo
 from ..engine.table import Table
 from ..errors import PlanError, SharedMemoryUnavailable
 from ..obs import MetricsRegistry
+from ..obs.tracing import current_context
 from . import shard as shard_mod
 from . import worker
 from .shm import SharedColumnStore
@@ -97,6 +98,21 @@ def _child_config(cluster, shard: int):
 
 def _batch_size(cluster) -> int:
     return cluster.config.batch_size or DEFAULT_BATCH
+
+
+def _attach_trace(specs: Sequence[dict]) -> None:
+    """Stamp the active trace context into every shard task spec.
+
+    Call this *inside* the phase span that logically contains the shard
+    work (e.g. ``stream``), so shard-recorded spans re-parent under that
+    phase when :func:`MetricsRegistry.absorb_sharded` folds them back.
+    No active context (tracing off) leaves the specs untouched.
+    """
+    context = current_context()
+    if context is not None:
+        payload = context.to_dict()
+        for spec in specs:
+            spec["trace"] = payload
 
 
 def _scatter(pool, specs, task) -> Dict[int, dict]:
@@ -250,6 +266,7 @@ def _run_single_pass(cluster, query: Query, tables, policy: str) -> "RunResult":
         pool = get_pool(shards)
         results: Dict[int, dict] = {}
         with registry.trace("stream"):
+            _attach_trace(specs)
             futures = [pool.submit(worker.run_single_pass_shard, s) for s in specs]
             for future in as_completed(futures):
                 result = future.result()
@@ -317,6 +334,7 @@ def _run_join(cluster, query: Query, tables) -> "RunResult":
             }
             for k in range(shards)
         ]
+        _attach_trace(specs)
         results = _scatter(get_pool(shards), specs, worker.run_join_shard)
     finally:
         store.close()
@@ -383,6 +401,7 @@ def _run_having(cluster, query: Query, tables) -> "RunResult":
             }
             for k in range(shards)
         ]
+        _attach_trace(specs)
         results = _scatter(get_pool(shards), specs, worker.run_having_shard)
     finally:
         store.close()
@@ -450,6 +469,7 @@ def _run_skyline(cluster, query: Query, tables) -> "RunResult":
             for k in range(shards)
         ]
         with registry.trace("skyline-stream"):
+            _attach_trace(specs)
             results = _scatter(get_pool(shards), specs, worker.run_skyline_shard)
     finally:
         store.close()

@@ -19,6 +19,7 @@ sequential counter families exactly.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Dict, List, Tuple
 
 import numpy as np
@@ -27,8 +28,40 @@ from ..core.having import HavingPruner
 from ..core.join import JoinPruner
 from ..core.skyline import SkylinePruner
 from ..obs import MetricsRegistry
+from ..obs.tracing import TraceContext, clear_trace_context, trace_context
 from ..switch.fuse import FusedProgram, plan_fused, record_fallback
 from .shm import attach_columns
+
+
+def _shard_trace(spec: dict, registry=None, span: str = ""):
+    """Re-activate the parent's trace context inside this shard process.
+
+    The runner stamps the active :class:`TraceContext` into the task
+    spec (``spec["trace"]``); restoring it here makes every span the
+    shard records — and the sampled fused-batch spans beneath — children
+    of the parent's stream phase once ``absorb_sharded`` folds the
+    snapshot back.  When ``registry`` and ``span`` are given, a span of
+    that name additionally wraps the block, but *only* while tracing is
+    active — shards record no extra spans when tracing is off, keeping
+    the traced-off metrics shape identical to the sequential path.
+    Absent payload means tracing is off for this task: the context is
+    explicitly *cleared*, because fork-started pool processes may have
+    inherited an active context from whichever request first created
+    the pool.
+    """
+    payload = spec.get("trace")
+    if payload is None:
+        return clear_trace_context()
+    context = trace_context(TraceContext.from_dict(payload))
+    if registry is None or not span:
+        return context
+
+    @contextmanager
+    def _activate_and_time():
+        with context, registry.trace(span):
+            yield
+
+    return _activate_and_time()
 
 
 def _empty_ids() -> np.ndarray:
@@ -73,48 +106,54 @@ def run_single_pass_shard(spec: dict) -> dict:
         if cfg.fused and cfg.batch_size is not None:
             plan = plan_fused([query], columns, cfg)
             if plan.fused:
-                program = FusedProgram(plan, [pruner], registry=registry)
+                program = FusedProgram(
+                    plan,
+                    [pruner],
+                    registry=registry,
+                    trace_sample=cfg.fused_trace_sample,
+                )
             else:
                 record_fallback(registry, plan.fallback_reason)
         streamed = forwarded = 0
         id_parts: List[np.ndarray] = []
         total = len(arrays[0]) if arrays else 0
         batch = spec["batch"]
-        for start in range(0, total, batch):
-            stop = min(start + batch, total)
-            slices = tuple(array[start:stop] for array in arrays)
-            streamed += stop - start
-            if program is not None:
-                masks, _ = program.run_batch(slices)
-                positions = np.flatnonzero(masks[0])
+        with _shard_trace(spec, registry, "shard-stream"):
+            for start in range(0, total, batch):
+                stop = min(start + batch, total)
+                slices = tuple(array[start:stop] for array in arrays)
+                streamed += stop - start
+                if program is not None:
+                    masks, _ = program.run_batch(slices)
+                    positions = np.flatnonzero(masks[0])
+                    forwarded += len(positions)
+                    if len(positions) == 0:
+                        continue
+                    local = positions.astype(np.int64) + start
+                    if index is not None:
+                        id_parts.append(index[local])
+                    else:
+                        id_parts.append(spec["layout"][1] + local)
+                    continue
+                if where_pruner is not None:
+                    where_idx = np.flatnonzero(where_pruner.process_batch(slices))
+                    if len(where_idx) == 0:
+                        continue
+                    subset = tuple(column[where_idx] for column in slices)
+                else:
+                    where_idx = None
+                    subset = slices
+                entries = cluster._entries_batch(op, columns, subset)
+                positions = np.flatnonzero(pruner.process_batch(entries))
                 forwarded += len(positions)
                 if len(positions) == 0:
                     continue
-                local = positions.astype(np.int64) + start
+                local = where_idx[positions] if where_idx is not None else positions
+                local = local.astype(np.int64) + start
                 if index is not None:
                     id_parts.append(index[local])
                 else:
                     id_parts.append(spec["layout"][1] + local)
-                continue
-            if where_pruner is not None:
-                where_idx = np.flatnonzero(where_pruner.process_batch(slices))
-                if len(where_idx) == 0:
-                    continue
-                subset = tuple(column[where_idx] for column in slices)
-            else:
-                where_idx = None
-                subset = slices
-            entries = cluster._entries_batch(op, columns, subset)
-            positions = np.flatnonzero(pruner.process_batch(entries))
-            forwarded += len(positions)
-            if len(positions) == 0:
-                continue
-            local = where_idx[positions] if where_idx is not None else positions
-            local = local.astype(np.int64) + start
-            if index is not None:
-                id_parts.append(index[local])
-            else:
-                id_parts.append(spec["layout"][1] + local)
         kind = _op_kind(op)
         _absorb_pruner(registry, pruner, query=kind, role="primary")
         if where_pruner is not None:
@@ -152,12 +191,12 @@ def run_join_shard(spec: dict) -> dict:
             seed=cfg.seed,
         )
         registry = MetricsRegistry()
-        with registry.trace("join-build"):
+        with _shard_trace(spec), registry.trace("join-build"):
             pruner.build(left_keys, right_keys)
         probe_forwarded = 0
         survivors: Dict[str, np.ndarray] = {}
         batch = spec["batch"]
-        with registry.trace("join-probe"):
+        with _shard_trace(spec), registry.trace("join-probe"):
             for side, keys, index_name in (
                 (op.table, left_keys, spec["left_index"]),
                 (op.right_table, right_keys, spec["right_index"]),
@@ -208,7 +247,7 @@ def run_having_shard(spec: dict) -> dict:
         forwarded = 0
         id_parts: List[np.ndarray] = []
         batch = spec["batch"]
-        with registry.trace("having-sketch"):
+        with _shard_trace(spec), registry.trace("having-sketch"):
             for start in range(0, len(keys), batch):
                 key_chunk = keys[start : start + batch]
                 value_chunk = values[start : start + batch]
@@ -248,16 +287,17 @@ def run_skyline_shard(spec: dict) -> dict:
         received: List[Tuple[float, ...]] = []
         forwarded = 0
         batch = spec["batch"]
-        for start in range(0, len(matrix), batch):
-            chunk = matrix[start : start + batch]
-            forward = pruner.process_batch(chunk)
-            forwarded += int(forward.sum())
-            for k in np.flatnonzero(forward):
-                carried = pruner.last_batch_carried[k]
-                received.append(tuple(float(v) for v in carried))
-        drained = pruner.drain()
-        received.extend(drained)
-        forwarded += len(drained)
+        with _shard_trace(spec, registry, "shard-stream"):
+            for start in range(0, len(matrix), batch):
+                chunk = matrix[start : start + batch]
+                forward = pruner.process_batch(chunk)
+                forwarded += int(forward.sum())
+                for k in np.flatnonzero(forward):
+                    carried = pruner.last_batch_carried[k]
+                    received.append(tuple(float(v) for v in carried))
+            drained = pruner.drain()
+            received.extend(drained)
+            forwarded += len(drained)
         _absorb_pruner(registry, pruner, query="skyline", role="primary")
         points = (
             np.asarray(received, dtype=np.float64)

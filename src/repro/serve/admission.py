@@ -53,6 +53,8 @@ class Request:
         "tenant",
         "deadline",
         "timeline",
+        "trace",
+        "exec_ctx",
         "_event",
         "_output",
         "_error",
@@ -73,6 +75,11 @@ class Request:
         #: is worthless; None means the client will wait forever.
         self.deadline = deadline
         self.timeline: Dict[str, float] = {"submitted": time.monotonic()}
+        #: Root :class:`~repro.obs.TraceContext` of this request's trace
+        #: tree (set at submit when the service traces requests), and the
+        #: derived execution-phase context the engine runs under.
+        self.trace = None
+        self.exec_ctx = None
         self._event = threading.Event()
         self._output: object = None
         self._error: Optional[BaseException] = None
@@ -134,6 +141,7 @@ class AdmissionController:
         max_depth: int,
         registry: Optional[MetricsRegistry] = None,
         concurrency: int = 1,
+        events=None,
     ) -> None:
         if max_depth <= 0:
             raise ConfigurationError(
@@ -145,6 +153,9 @@ class AdmissionController:
             )
         self.max_depth = max_depth
         self.concurrency = concurrency
+        #: Optional :class:`~repro.obs.EventLog`: every shed also lands
+        #: there as a structured ``shed`` event.
+        self.events = events
         self.condition = threading.Condition()
         self.closed = False
         self._queue: Deque[Request] = deque()
@@ -296,6 +307,16 @@ class AdmissionController:
     ) -> None:
         """Record a shed and deliver/raise the typed error (lock held)."""
         self._shed[reason].inc()
+        if self.events is not None:
+            self.events.emit(
+                "shed",
+                message,
+                source="admission",
+                severity="warning",
+                reason=reason,
+                request=str(request.id),
+                tenant=request.tenant,
+            )
         error = Overloaded(
             f"request {request.id} ({request.query.describe()}) shed: {message}",
             reason,

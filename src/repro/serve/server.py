@@ -37,7 +37,16 @@ from ..engine.plan import Query
 from ..engine.reference import TableMap, run_reference
 from ..engine.sql import parse
 from ..errors import ConfigurationError
-from ..obs import MetricsRegistry, Span, histogram_quantile
+from ..obs import (
+    EventLog,
+    HealthStore,
+    MetricsRegistry,
+    Span,
+    TraceContext,
+    export_trace_jsonl,
+    histogram_quantile,
+    trace_context,
+)
 from ..switch.compiler import compile_cache_stats
 from ..switch.fuse import fused_cache_stats
 from .admission import AdmissionController, Request
@@ -78,6 +87,9 @@ class QueryService:
         verify: bool = False,
         trace_requests: bool = True,
         registry: Optional[MetricsRegistry] = None,
+        max_spans: int = 4096,
+        health_window: int = 64,
+        event_capacity: int = 512,
     ) -> None:
         if worker_threads <= 0:
             raise ConfigurationError(
@@ -85,13 +97,23 @@ class QueryService:
             )
         self.cluster = Cluster(workers=workers, config=config)
         self.registry = registry if registry is not None else MetricsRegistry()
+        # Long-running services append spans per request: bound the span
+        # store so memory stays flat (drops are counted, never silent).
+        self.registry.cap_spans(max_spans)
+        self.events = EventLog(event_capacity, registry=self.registry)
+        self.health = HealthStore(
+            window=health_window, registry=self.registry, events=self.events
+        )
         self.verify = verify
         self.trace_requests = trace_requests
         self.default_timeout = default_timeout
         self.programs = ProgramCache()
         self.results = ResultCache()
         self.admission = AdmissionController(
-            max_queue, registry=self.registry, concurrency=worker_threads
+            max_queue,
+            registry=self.registry,
+            concurrency=worker_threads,
+            events=self.events,
         )
         self.scheduler = PackingScheduler(
             self.cluster,
@@ -160,6 +182,17 @@ class QueryService:
             target=self._schedule_loop, name="serve-scheduler", daemon=True
         )
         self._scheduler_thread.start()
+        # Lifecycle markers bracket the operational history: every event
+        # export carries at least the start/shutdown pair, so downstream
+        # consumers can tell "no incidents" from "no data".
+        self.events.emit(
+            "lifecycle",
+            f"service started ({workers} workers, "
+            f"{worker_threads} executor threads)",
+            source="serve",
+            workers=str(workers),
+            threads=str(worker_threads),
+        )
 
     # -- client API ----------------------------------------------------------
 
@@ -189,6 +222,8 @@ class QueryService:
         budget = timeout if timeout is not None else self.default_timeout
         deadline = time.monotonic() + budget if budget is not None else None
         request = Request(plan, tenant=tenant, deadline=deadline, sql=sql)
+        if self.trace_requests:
+            request.trace = TraceContext.root()
         with self._metrics_lock:
             self._tallies["requests"] += 1
             self._tenant_counter("serve_requests_total", tenant).inc()
@@ -208,6 +243,10 @@ class QueryService:
                 self._tallies["cache_hits"] += 1
                 self._cache_hits_counter.inc()
                 self._account_completion_locked(request, packed=False, cached=True)
+            self.health.observe_latency(
+                plan.cache_key(),
+                request.timeline["completed"] - request.timeline["submitted"],
+            )
             return request
         with self._metrics_lock:
             self._tallies["cache_misses"] += 1
@@ -235,7 +274,15 @@ class QueryService:
             if tables is not None:
                 self._tables = dict(tables)
             self._tables_version += 1
-            return self._tables_version
+            version = self._tables_version
+        self.events.emit(
+            "cache-invalidation",
+            f"tables updated to version {version}; result cache invalidated",
+            source="serve",
+            severity="info",
+            version=str(version),
+        )
+        return version
 
     @property
     def tables_version(self) -> int:
@@ -287,6 +334,12 @@ class QueryService:
                     break
                 self._state.wait(remaining if remaining is not None else 0.1)
         self._pool.shutdown(wait=True)
+        self.events.emit(
+            "lifecycle",
+            f"service shut down ({'drained' if drain else 'shed backlog'})",
+            source="serve",
+            drain=str(drain).lower(),
+        )
 
     def __enter__(self) -> "QueryService":
         return self
@@ -330,17 +383,33 @@ class QueryService:
     def _run_slot(self, slot: Slot, tables: TableMap, version: int) -> None:
         start = time.monotonic()
         requests = slot.requests
+        # Each request gets an execution-phase context under its own
+        # trace root.  A packed slot runs ONE engine pass: its phase
+        # spans parent under the head request's context (companions keep
+        # their serve-side spans in their own trees).
+        for request in requests:
+            if request.trace is not None:
+                request.exec_ctx = request.trace.child()
         try:
-            if slot.packed:
-                packed = self.cluster.run_packed(slot.queries, tables)
-                outputs = [result.output for result in packed.results]
-                streamed, forwarded = packed.total_streamed, packed.total_forwarded
-                kind = "packed"
-            else:
-                result = self.cluster.run(requests[0].query, tables)
-                outputs = [result.output]
-                streamed, forwarded = result.total_streamed, result.total_forwarded
-                kind = "solo"
+            with trace_context(requests[0].exec_ctx):
+                if slot.packed:
+                    packed = self.cluster.run_packed(slot.queries, tables)
+                    outputs = [result.output for result in packed.results]
+                    streamed, forwarded = (
+                        packed.total_streamed, packed.total_forwarded,
+                    )
+                    engine = [packed.metrics] + [r.metrics for r in packed.results]
+                    health_pairs = list(zip(requests, packed.results))
+                    kind = "packed"
+                else:
+                    result = self.cluster.run(requests[0].query, tables)
+                    outputs = [result.output]
+                    streamed, forwarded = (
+                        result.total_streamed, result.total_forwarded,
+                    )
+                    engine = [result.metrics]
+                    health_pairs = [(requests[0], result)]
+                    kind = "solo"
             if self.verify:
                 for request, output in zip(requests, outputs):
                     expected = run_reference(request.query, tables)
@@ -369,6 +438,13 @@ class QueryService:
                     self._account_completion_locked(
                         request, packed=slot.packed, cached=False
                     )
+                self._absorb_engine_spans_locked(engine)
+            for request, run_result in health_pairs:
+                self.health.observe_run(
+                    request.query.cache_key(),
+                    run_result,
+                    request.timeline["completed"] - request.timeline["submitted"],
+                )
         except Exception as error:
             executed = time.monotonic()
             for request in requests:
@@ -381,6 +457,16 @@ class QueryService:
                     self._tenant_counter(
                         "serve_failed_total", request.tenant
                     ).inc()
+            for request in requests:
+                self.events.emit(
+                    "fault",
+                    f"slot execution failed: {error}",
+                    source="serve",
+                    severity="error",
+                    request=str(request.id),
+                    tenant=request.tenant,
+                    error=type(error).__name__,
+                )
         finally:
             elapsed = time.monotonic() - start
             self.admission.note_service_seconds(elapsed / max(1, len(requests)))
@@ -429,11 +515,46 @@ class QueryService:
         )
         executed_at = timeline.get("executed", timeline["completed"])
         scheduled_at = timeline.get("scheduled", timeline["submitted"])
-        self.registry.spans.append(Span("serve-queued", queued_s, dict(labels)))
-        self.registry.spans.append(
-            Span("serve-execute", executed_at - scheduled_at, dict(labels))
-        )
-        self.registry.spans.append(Span("serve-request", total, dict(labels)))
+        queued_span = Span("serve-queued", queued_s, dict(labels))
+        execute_span = Span("serve-execute", executed_at - scheduled_at, dict(labels))
+        request_span = Span("serve-request", total, dict(labels))
+        if request.trace is not None:
+            # serve-request IS the trace root; queued/execute hang under
+            # it.  The execute span reuses the request's execution
+            # context, so the engine's phase spans (recorded while that
+            # context was active) appear as its children in the tree.
+            root = request.trace
+            request_span.trace_id = root.trace_id
+            request_span.span_id = root.span_id
+            request_span.parent_id = root.parent_id
+            queued_ctx = root.child()
+            queued_span.trace_id = queued_ctx.trace_id
+            queued_span.span_id = queued_ctx.span_id
+            queued_span.parent_id = queued_ctx.parent_id
+            exec_ctx = request.exec_ctx or root.child()
+            execute_span.trace_id = exec_ctx.trace_id
+            execute_span.span_id = exec_ctx.span_id
+            execute_span.parent_id = exec_ctx.parent_id
+        self.registry.spans.append(queued_span)
+        self.registry.spans.append(execute_span)
+        self.registry.spans.append(request_span)
+
+    def _absorb_engine_spans_locked(self, registries) -> None:
+        """Fold trace-placed engine spans into the service registry.
+
+        Packed slots hand several result registries that may alias one
+        shared object — dedupe by identity — and only spans that carry
+        trace ids are copied: with tracing off the service registry's
+        span content is exactly what it was before this feature.
+        """
+        seen = set()
+        for source in registries:
+            if source is None or id(source) in seen or source is self.registry:
+                continue
+            seen.add(id(source))
+            for span in source.spans:
+                if span.trace_id is not None:
+                    self.registry.spans.append(span)
 
     # -- reporting -----------------------------------------------------------
 
@@ -442,8 +563,10 @@ class QueryService:
 
         Top-level keys follow the ``{"benchmark", "artifact", "metrics"}``
         shape ``scripts/check_metrics_schema.py`` validates, with the
-        human-facing roll-up under ``summary`` and per-tenant p50/p99
-        request latency (milliseconds) under ``latency_ms``.
+        human-facing roll-up under ``summary``, per-tenant p50/p99
+        request latency (milliseconds) under ``latency_ms``, per-query-
+        signature health windows under ``health``, and the retained
+        structured events under ``events``.
         """
         with self._metrics_lock:
             tallies = dict(self._tallies)
@@ -469,10 +592,28 @@ class QueryService:
             "fit_pack": compile_cache_stats(),
             "fused_plans": fused_cache_stats(),
         }
+        summary["degraded_signatures"] = self.health.degraded_signatures()
         return {
             "benchmark": "serving",
             "artifact": "query-service",
             "summary": summary,
             "latency_ms": latency,
             "metrics": metrics,
+            "health": self.health.snapshot(),
+            "events": self.events.snapshot(),
         }
+
+    def export_trace(self, path: str) -> int:
+        """Write the retained trace-placed spans to ``path`` as JSONL.
+
+        Returns the number of spans written; render the file with
+        ``repro trace <path>``.  Only spans still inside the bounded
+        span ring are exported.
+        """
+        with self._metrics_lock:
+            spans = list(self.registry.spans)
+        return export_trace_jsonl(spans, path)
+
+    def export_events(self, path: str) -> int:
+        """Write the retained structured events to ``path`` as JSONL."""
+        return self.events.to_jsonl(path)

@@ -52,6 +52,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs.tracing import current_context
+
 __all__ = [
     "FUSED_DEFAULT_BATCH",
     "FusedPlan",
@@ -277,9 +279,17 @@ class FusedProgram:
     the packed stream's forward bit.  ``trace``, when set to a list,
     records each batch's slice tuple — the buffer-identity hook the
     zero-copy tests use.
+
+    ``trace_sample`` N > 0 records every Nth batch as a ``fused-batch``
+    span on the registry — but only while a request
+    :class:`~repro.obs.TraceContext` is active, so sampled kernel
+    timings land inside the request's trace tree and a disabled sampler
+    (the default 0) adds exactly zero spans.
     """
 
-    def __init__(self, plan: FusedPlan, pruners: Sequence, registry=None) -> None:
+    def __init__(
+        self, plan: FusedPlan, pruners: Sequence, registry=None, trace_sample: int = 0
+    ) -> None:
         if not plan.fused:
             raise ValueError(
                 f"cannot bind a fallback plan (reason={plan.fallback_reason!r})"
@@ -295,6 +305,9 @@ class FusedProgram:
         ]
         self._batches = None
         self._shared = None
+        self._registry = registry
+        self._trace_sample = int(trace_sample) if registry is not None else 0
+        self._batch_seen = 0
         if registry is not None:
             self._batches = registry.counter("fused_batches_total", _BATCHES_HELP)
             self._shared = registry.counter("fused_digest_shared_total", _SHARED_HELP)
@@ -308,6 +321,18 @@ class FusedProgram:
         their union (the packed stream's forward bit).  Digests are
         memoized per batch, so kernels sharing a column hash it once.
         """
+        if self._trace_sample:
+            index = self._batch_seen
+            self._batch_seen += 1
+            if index % self._trace_sample == 0 and current_context() is not None:
+                rows = len(slices[0]) if slices else 0
+                with self._registry.trace("fused-batch", batch=index, rows=rows):
+                    return self._run_batch(slices)
+        return self._run_batch(slices)
+
+    def _run_batch(
+        self, slices: Tuple[np.ndarray, ...]
+    ) -> Tuple[List[np.ndarray], np.ndarray]:
         if self.trace is not None:
             self.trace.append(slices)
         ctx = _BatchContext(slices)

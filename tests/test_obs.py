@@ -384,3 +384,155 @@ def test_absorb_sharded_rejects_mismatched_buckets():
     shard.histogram("lat", "Latency.", buckets=(1.0, 4.0)).observe(1.5)
     with pytest.raises(ConfigurationError):
         parent.absorb_sharded(shard, 0)
+
+
+# ---------------------------------------------------------------------------
+# histogram_quantile edge cases
+# ---------------------------------------------------------------------------
+
+
+def test_histogram_quantile_empty_histogram_is_zero():
+    from repro.obs import histogram_quantile
+
+    registry = MetricsRegistry()
+    sample = registry.histogram("empty_seconds", buckets=(0.1, 1.0))
+    assert histogram_quantile(sample, 0.5) == 0.0
+    assert histogram_quantile(sample, 0.0) == 0.0
+    assert histogram_quantile(sample, 1.0) == 0.0
+
+
+def test_histogram_quantile_single_bucket_interpolates_from_zero():
+    from repro.obs import histogram_quantile
+
+    registry = MetricsRegistry()
+    sample = registry.histogram("one_seconds", buckets=(2.0,))
+    for _ in range(4):
+        sample.observe(1.0)
+    # All mass sits in the single (0, 2.0] bucket: linear interpolation
+    # from the 0.0 lower edge.
+    assert histogram_quantile(sample, 0.5) == pytest.approx(1.0)
+    assert histogram_quantile(sample, 1.0) == pytest.approx(2.0)
+
+
+def test_histogram_quantile_q0_and_q1_bounds():
+    from repro.obs import histogram_quantile
+
+    registry = MetricsRegistry()
+    sample = registry.histogram("b_seconds", buckets=(0.1, 1.0, 10.0))
+    sample.observe(0.05)
+    sample.observe(0.5)
+    sample.observe(5.0)
+    assert histogram_quantile(sample, 0.0) == pytest.approx(0.0)
+    q1 = histogram_quantile(sample, 1.0)
+    assert 0.0 < q1 <= 10.0
+
+
+def test_histogram_quantile_overflow_clamps_to_largest_finite_bound():
+    from repro.obs import histogram_quantile
+
+    registry = MetricsRegistry()
+    sample = registry.histogram("o_seconds", buckets=(0.1, 1.0))
+    sample.observe(50.0)  # lands in the +Inf overflow bucket
+    assert histogram_quantile(sample, 0.99) == pytest.approx(1.0)
+
+
+def test_histogram_quantile_out_of_range_raises():
+    from repro.obs import histogram_quantile
+
+    registry = MetricsRegistry()
+    sample = registry.histogram("r_seconds", buckets=(1.0,))
+    sample.observe(0.5)
+    with pytest.raises(ConfigurationError):
+        histogram_quantile(sample, -0.01)
+    with pytest.raises(ConfigurationError):
+        histogram_quantile(sample, 1.01)
+
+
+# ---------------------------------------------------------------------------
+# Prometheus escaping and value formatting
+# ---------------------------------------------------------------------------
+
+
+def test_prometheus_label_escaping_quotes_backslashes_newlines():
+    registry = MetricsRegistry()
+    registry.counter("esc_total", q='a"b').inc()
+    registry.counter("esc_total", q="a\\b").inc()
+    registry.counter("esc_total", q="a\nb").inc()
+    lines = [
+        l for l in registry.to_prometheus().splitlines()
+        if l.startswith("esc_total{")
+    ]
+    rendered = "\n".join(lines)
+    assert 'q="a\\"b"' in rendered
+    assert 'q="a\\\\b"' in rendered
+    assert 'q="a\\nb"' in rendered
+    # The raw newline must never appear inside a sample line.
+    assert all("\n" not in l for l in lines)
+
+
+def test_prometheus_help_escaping():
+    registry = MetricsRegistry()
+    registry.counter("h_total", "line one\nline two \\ backslash").inc()
+    help_line = [
+        l for l in registry.to_prometheus().splitlines()
+        if l.startswith("# HELP h_total")
+    ][0]
+    assert "\\n" in help_line and "\\\\" in help_line
+    assert "\n" not in help_line
+
+
+def test_prometheus_nonfinite_gauge_values():
+    registry = MetricsRegistry()
+    registry.gauge("pos_inf").set(float("inf"))
+    registry.gauge("neg_inf").set(float("-inf"))
+    registry.gauge("nan_val").set(float("nan"))
+    text = registry.to_prometheus()
+    assert "pos_inf +Inf" in text
+    assert "neg_inf -Inf" in text
+    assert "nan_val NaN" in text
+    assert "inf inf" not in text and "nan nan" not in text
+
+
+# ---------------------------------------------------------------------------
+# bounded span ring
+# ---------------------------------------------------------------------------
+
+
+def test_span_ring_caps_and_counts_drops():
+    from repro.obs import SpanRing
+
+    drops = []
+    ring = SpanRing(3, on_drop=lambda: drops.append(1))
+    for i in range(5):
+        ring.append(Span(f"s{i}", 0.0))
+    assert len(ring) == 3
+    assert [s.name for s in ring] == ["s2", "s3", "s4"]
+    assert len(drops) == 2
+    assert ring[0].name == "s2" and ring[-1].name == "s4"
+    assert [s.name for s in ring[1:]] == ["s3", "s4"]
+    ring.clear()
+    assert len(ring) == 0 and not ring
+    assert len(drops) == 2  # clear() is not an overflow drop
+
+
+def test_span_ring_rejects_nonpositive_capacity():
+    from repro.obs import SpanRing
+
+    with pytest.raises(ConfigurationError):
+        SpanRing(0)
+
+
+def test_cap_spans_bounds_registry_and_counts():
+    registry = MetricsRegistry()
+    for i in range(4):
+        with trace(registry, f"phase{i}"):
+            pass
+    registry.cap_spans(2)
+    assert len(registry.spans) == 2
+    dropped = registry.counter("spans_dropped_total")
+    assert dropped.value == 2  # initial truncation counts
+    with trace(registry, "next"):
+        pass
+    assert len(registry.spans) == 2
+    assert registry.spans[-1].name == "next"
+    assert dropped.value == 3

@@ -1,0 +1,318 @@
+"""Hierarchical tracing: context propagation, exports, serving trees.
+
+Covers the :class:`~repro.obs.TraceContext` primitives, nested span
+parenting, the JSONL export round trip and tree renderer, shard-task
+re-parenting across the process boundary at parallelism {1, 2, 4}, the
+fused per-batch sampler (and that it adds zero spans when disabled),
+and the end-to-end :class:`~repro.serve.server.QueryService` trace tree
+a served workload produces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.cluster import Cluster, ClusterConfig
+from repro.engine.expressions import col
+from repro.engine.plan import CountOp, FilterOp, Query
+from repro.engine.table import Table
+from repro.errors import ConfigurationError
+from repro.obs import (
+    MetricsRegistry,
+    Span,
+    TraceContext,
+    current_context,
+    export_trace_jsonl,
+    format_trace_tree,
+    load_trace_jsonl,
+    trace_context,
+)
+
+
+def make_tables(seed: int = 1, rows: int = 900) -> dict:
+    rng = np.random.default_rng(seed)
+    return {
+        "products": Table(
+            "products",
+            {
+                "price": rng.integers(0, 400, rows),
+                "qty": rng.integers(0, 50, rows),
+            },
+        )
+    }
+
+
+# ---------------------------------------------------------------------------
+# TraceContext primitives
+# ---------------------------------------------------------------------------
+
+
+class TestTraceContext:
+    def test_root_and_child_ids(self):
+        root = TraceContext.root()
+        assert root.parent_id is None
+        child = root.child()
+        assert child.trace_id == root.trace_id
+        assert child.parent_id == root.span_id
+        assert child.span_id != root.span_id
+
+    def test_dict_round_trip(self):
+        ctx = TraceContext.root().child()
+        assert TraceContext.from_dict(ctx.to_dict()) == ctx
+
+    def test_activation_is_scoped(self):
+        assert current_context() is None
+        ctx = TraceContext.root()
+        with trace_context(ctx):
+            assert current_context() is ctx
+            inner = TraceContext.root()
+            with trace_context(inner):
+                assert current_context() is inner
+            assert current_context() is ctx
+        assert current_context() is None
+
+    def test_none_activation_is_noop(self):
+        with trace_context(None) as active:
+            assert active is None
+            assert current_context() is None
+
+
+# ---------------------------------------------------------------------------
+# span parenting and serialization
+# ---------------------------------------------------------------------------
+
+
+class TestSpanParenting:
+    def test_spans_without_context_carry_no_ids(self):
+        registry = MetricsRegistry()
+        with registry.trace("phase"):
+            pass
+        span = registry.spans[0]
+        assert span.trace_id is None and span.span_id is None
+        assert "trace_id" not in span.to_dict()
+
+    def test_nested_spans_form_parent_chain(self):
+        registry = MetricsRegistry()
+        ctx = TraceContext.root()
+        with trace_context(ctx):
+            with registry.trace("outer"):
+                with registry.trace("inner"):
+                    pass
+        inner, outer = registry.spans  # innermost finishes first
+        assert outer.parent_id == ctx.span_id
+        assert inner.parent_id == outer.span_id
+        assert inner.trace_id == outer.trace_id == ctx.trace_id
+
+    def test_span_dict_round_trip_preserves_ids(self):
+        span = Span("s", 0.5, {"k": "v"}, trace_id="t", span_id="a", parent_id="b")
+        clone = Span.from_dict(span.to_dict())
+        assert (clone.trace_id, clone.span_id, clone.parent_id) == ("t", "a", "b")
+
+    def test_relabel_preserves_trace_ids(self):
+        span = Span("s", 0.5, {}, trace_id="t", span_id="a", parent_id="b")
+        shard = span.relabel(shard="3")
+        assert shard.labels == {"shard": "3"}
+        assert (shard.trace_id, shard.span_id, shard.parent_id) == ("t", "a", "b")
+
+
+# ---------------------------------------------------------------------------
+# JSONL export and tree rendering
+# ---------------------------------------------------------------------------
+
+
+class TestExports:
+    def test_jsonl_round_trip_skips_flat_spans(self, tmp_path):
+        registry = MetricsRegistry()
+        with registry.trace("flat"):
+            pass
+        with trace_context(TraceContext.root()):
+            with registry.trace("placed"):
+                pass
+        path = str(tmp_path / "trace.jsonl")
+        written = export_trace_jsonl(registry.spans, path)
+        assert written == 1
+        loaded = load_trace_jsonl(path)
+        assert [s.name for s in loaded] == ["placed"]
+
+    def test_tree_indents_children_and_filters(self):
+        ctx = TraceContext.root()
+        registry = MetricsRegistry()
+        with trace_context(ctx):
+            with registry.trace("request"):
+                with registry.trace("stream"):
+                    pass
+        lines = format_trace_tree(registry.spans)
+        assert lines[0].startswith(f"trace {ctx.trace_id}")
+        assert any(l.startswith("  - request") for l in lines)
+        assert any(l.startswith("    - stream") for l in lines)
+        assert format_trace_tree(registry.spans, trace_id="missing") == []
+
+    def test_tree_limit_caps_traces(self):
+        spans = [
+            Span("a", 0.0, {}, trace_id=f"t{i}", span_id=f"s{i}")
+            for i in range(4)
+        ]
+        lines = format_trace_tree(spans, limit=2)
+        assert sum(1 for l in lines if l.startswith("trace ")) == 2
+
+
+# ---------------------------------------------------------------------------
+# cross-process propagation through the parallel dataplane
+# ---------------------------------------------------------------------------
+
+
+class TestParallelPropagation:
+    @pytest.mark.parametrize("parallelism", [1, 2, 4])
+    def test_shard_spans_reparent_under_request_trace(self, parallelism):
+        tables = make_tables()
+        query = Query(CountOp("products", col("price") > 250))
+        cluster = Cluster(
+            workers=5,
+            config=ClusterConfig(
+                batch_size=128,
+                parallelism=parallelism,
+                fused_trace_sample=2,
+            ),
+        )
+        ctx = TraceContext.root()
+        with trace_context(ctx):
+            result = cluster.run(query, tables)
+        spans = result.metrics.spans
+        assert spans and all(s.trace_id == ctx.trace_id for s in spans)
+        if parallelism > 1:
+            stream = [s for s in spans if s.name == "stream"]
+            shard_spans = [s for s in spans if s.name == "shard-stream"]
+            assert len(shard_spans) == parallelism
+            assert {s.labels["shard"] for s in shard_spans} == {
+                str(k) for k in range(parallelism)
+            }
+            assert all(s.parent_id == stream[0].span_id for s in shard_spans)
+            fused = [s for s in spans if s.name == "fused-batch"]
+            shard_ids = {s.span_id for s in shard_spans}
+            assert fused and all(f.parent_id in shard_ids for f in fused)
+
+    def test_parallel_without_context_adds_no_spans(self):
+        tables = make_tables()
+        query = Query(FilterOp("products", col("price") > 250))
+        cluster = Cluster(
+            workers=5,
+            config=ClusterConfig(
+                batch_size=128, parallelism=2, fused_trace_sample=2
+            ),
+        )
+        result = cluster.run(query, tables)
+        names = {s.name for s in result.metrics.spans}
+        assert "shard-stream" not in names and "fused-batch" not in names
+        assert all(s.trace_id is None for s in result.metrics.spans)
+
+
+# ---------------------------------------------------------------------------
+# fused per-batch sampling
+# ---------------------------------------------------------------------------
+
+
+class TestFusedSampling:
+    def _run(self, sample: int):
+        tables = make_tables(rows=1000)
+        query = Query(CountOp("products", col("price") > 100))
+        cluster = Cluster(
+            workers=5,
+            config=ClusterConfig(batch_size=100, fused_trace_sample=sample),
+        )
+        with trace_context(TraceContext.root()):
+            result = cluster.run(query, tables)
+        return [s for s in result.metrics.spans if s.name == "fused-batch"]
+
+    def test_disabled_sampler_adds_zero_spans(self):
+        assert self._run(0) == []
+
+    def test_sampler_records_every_nth_batch(self):
+        fused = self._run(4)
+        # 1000 rows / 100-row batches = 10 batches; every 4th sampled.
+        assert [s.labels["batch"] for s in fused] == ["0", "4", "8"]
+
+    def test_sampler_inactive_without_trace_context(self):
+        tables = make_tables(rows=400)
+        query = Query(CountOp("products", col("price") > 100))
+        cluster = Cluster(
+            workers=5,
+            config=ClusterConfig(batch_size=100, fused_trace_sample=1),
+        )
+        result = cluster.run(query, tables)
+        assert not [s for s in result.metrics.spans if s.name == "fused-batch"]
+
+    def test_negative_sample_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(fused_trace_sample=-1)
+
+
+# ---------------------------------------------------------------------------
+# end-to-end: the serving layer's request trace trees
+# ---------------------------------------------------------------------------
+
+
+class TestServiceTraces:
+    def test_served_requests_produce_coherent_trees(self, tmp_path):
+        from repro.serve import QueryService
+
+        tables = make_tables(rows=600)
+        config = ClusterConfig(
+            batch_size=128, parallelism=2, fused_trace_sample=4
+        )
+        with QueryService(tables, workers=5, config=config) as service:
+            service.query("SELECT COUNT(*) FROM products WHERE price > 250")
+            service.query("SELECT COUNT(*) FROM products WHERE price > 250")
+            path = str(tmp_path / "trace.jsonl")
+            written = service.export_trace(path)
+        assert written > 0
+        spans = load_trace_jsonl(path)
+        by_trace = {}
+        for span in spans:
+            by_trace.setdefault(span.trace_id, []).append(span)
+        assert len(by_trace) == 2  # one coherent tree per request
+        # The executed (non-cached) request threads serve -> engine ->
+        # shards into a single tree.
+        executed = next(
+            members
+            for members in by_trace.values()
+            if any(s.name == "shard-stream" for s in members)
+        )
+        names = {s.name for s in executed}
+        assert {"serve-request", "serve-queued", "serve-execute",
+                "stream", "shard-stream"} <= names
+        ids = {s.span_id for s in executed}
+        roots = [s for s in executed if s.parent_id not in ids]
+        assert [s.name for s in roots] == ["serve-request"]
+        execute = next(s for s in executed if s.name == "serve-execute")
+        stream = next(s for s in executed if s.name == "stream")
+        shard_parents = {
+            s.parent_id for s in executed if s.name == "shard-stream"
+        }
+        assert shard_parents == {stream.span_id}
+        engine_roots = {
+            s.name for s in executed if s.parent_id == execute.span_id
+        }
+        assert "stream" in engine_roots
+
+    def test_trace_requests_off_leaves_spans_flat(self):
+        from repro.serve import QueryService
+
+        tables = make_tables(rows=400)
+        with QueryService(tables, workers=5, trace_requests=False) as service:
+            service.query("SELECT COUNT(*) FROM products WHERE price > 250")
+            spans = list(service.registry.spans)
+        assert spans == []  # serve spans are only recorded when tracing
+
+    def test_span_ring_bounds_service_registry(self):
+        from repro.serve import QueryService
+
+        tables = make_tables(rows=400)
+        with QueryService(tables, workers=5, max_spans=4) as service:
+            for _ in range(6):
+                service.query(
+                    "SELECT COUNT(*) FROM products WHERE price > 250"
+                )
+            assert len(service.registry.spans) <= 4
+            dropped = service.registry.counter("spans_dropped_total")
+            assert dropped.value > 0

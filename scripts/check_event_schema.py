@@ -34,6 +34,14 @@ from typing import List, Optional
 #: Mirror of repro.obs.events.SEVERITIES (kept dependency-free).
 SEVERITIES = ("info", "warning", "error", "critical")
 
+#: Labels each remediation event kind must carry (the machine-readable
+#: surface the adaptive-runtime artifacts are consumed through).
+REQUIRED_LABELS = {
+    "remediation-action": ("signature", "action"),
+    "remediation-rollback": ("signature", "action"),
+    "remediation-frozen": ("signature",),
+}
+
 
 def _is_labels(obj) -> bool:
     return isinstance(obj, dict) and all(
@@ -71,8 +79,16 @@ def check_event(event, where: str, problems: List[str],
         problems.append(
             f"{where}: 'unix_time' must be numeric, got {unix_time!r}"
         )
-    if not _is_labels(event.get("labels")):
+    labels = event.get("labels")
+    if not _is_labels(labels):
         problems.append(f"{where}: 'labels' must map strings to strings")
+    else:
+        for required in REQUIRED_LABELS.get(event.get("kind"), ()):
+            if not labels.get(required):
+                problems.append(
+                    f"{where}: {event['kind']!r} event missing required "
+                    f"label {required!r}"
+                )
     return seq if seq is not None else prev_seq
 
 

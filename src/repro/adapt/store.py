@@ -1,0 +1,132 @@
+"""Per-signature configuration overrides with a batch-boundary fence.
+
+The remediation engine never mutates a live :class:`~repro.engine.cluster.
+ClusterConfig` — a pruner's exactness argument assumes its configuration
+is frozen for the duration of one streaming pass.  Instead it *stages*
+an override here, and :class:`AdaptiveConfigStore` promotes it to the
+active override only at a **batch boundary**: the instant no engine pass
+for that signature is in flight.  The engine pins the active override at
+pass start (:meth:`lease`), so a pass started under configuration ``v``
+finishes under ``v`` even if ``v+1`` is staged mid-stream.
+
+Every stage bumps the signature's monotone ``version`` — the fence the
+serving layer uses to invalidate ProgramCache/ResultCache entries for
+the touched signature atomically with the swap.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+#: Sentinel distinguishing "nothing staged" from "staged a revert to the
+#: base configuration" (which is a legitimate ``None`` override).
+_UNSET = object()
+
+
+class _SignatureConfig:
+    """Active/staged override and inflight accounting for one signature."""
+
+    __slots__ = ("active", "staged", "version", "inflight", "promotions")
+
+    def __init__(self) -> None:
+        self.active: Optional[object] = None
+        self.staged: object = _UNSET
+        self.version = 0
+        self.inflight = 0
+        self.promotions = 0
+
+
+class AdaptiveConfigStore:
+    """Thread-safe per-signature config overrides, promoted between passes.
+
+    ``base_config`` is what a signature without an override runs under;
+    an ``active`` override of ``None`` means exactly that.  All methods
+    are safe to call from engine, scheduler, and remediation threads.
+    """
+
+    def __init__(self, base_config) -> None:
+        self.base_config = base_config
+        self._lock = threading.Lock()
+        self._states: Dict[str, _SignatureConfig] = {}
+
+    # -- engine side ---------------------------------------------------------
+
+    @contextmanager
+    def lease(self, signature: str) -> Iterator[Optional[object]]:
+        """Pin the signature's active override for the duration of a pass.
+
+        Yields the override config (or ``None`` for the base config).
+        On exit, if this was the last inflight pass and a new config is
+        staged, the staged config is promoted — the batch boundary.
+        """
+        with self._lock:
+            state = self._states.setdefault(signature, _SignatureConfig())
+            state.inflight += 1
+            pinned = state.active
+        try:
+            yield pinned
+        finally:
+            with self._lock:
+                state.inflight -= 1
+                if state.inflight == 0 and state.staged is not _UNSET:
+                    self._promote_locked(state)
+
+    def _promote_locked(self, state: _SignatureConfig) -> None:
+        state.active = state.staged
+        state.staged = _UNSET
+        state.promotions += 1
+
+    # -- remediation side ----------------------------------------------------
+
+    def stage(self, signature: str, config: Optional[object]) -> int:
+        """Stage ``config`` (``None`` reverts to base) and bump the version.
+
+        Promotion is immediate when no pass is in flight, deferred to the
+        next batch boundary otherwise.  Returns the new version — the
+        fence value the caller pairs with its cache invalidation.
+        """
+        with self._lock:
+            state = self._states.setdefault(signature, _SignatureConfig())
+            state.version += 1
+            state.staged = config
+            if state.inflight == 0:
+                self._promote_locked(state)
+            return state.version
+
+    def active(self, signature: str) -> Optional[object]:
+        """The signature's currently-active override (None = base config)."""
+        with self._lock:
+            state = self._states.get(signature)
+            return state.active if state is not None else None
+
+    def effective(self, signature: str):
+        """The config a new pass for ``signature`` would run under."""
+        return self.active(signature) or self.base_config
+
+    def version(self, signature: str) -> int:
+        """The signature's configuration version (0 = never staged)."""
+        with self._lock:
+            state = self._states.get(signature)
+            return state.version if state is not None else 0
+
+    def pending(self, signature: str) -> bool:
+        """True while a staged config awaits its batch boundary."""
+        with self._lock:
+            state = self._states.get(signature)
+            return state is not None and state.staged is not _UNSET
+
+    def snapshot(self) -> Dict[str, dict]:
+        """JSON-ready per-signature override state (reporting)."""
+        with self._lock:
+            return {
+                signature: {
+                    "version": state.version,
+                    "overridden": state.active is not None,
+                    "staged": state.staged is not _UNSET,
+                    "inflight": state.inflight,
+                    "promotions": state.promotions,
+                }
+                for signature, state in self._states.items()
+            }

@@ -136,6 +136,41 @@ def _build_parser() -> argparse.ArgumentParser:
     serve_cmd.add_argument("--fused-trace-sample", type=int, default=0,
                            help="sample every Nth fused kernel batch as a "
                                 "trace span (default 0: disabled)")
+    serve_cmd.add_argument("--adapt", action="store_true",
+                           help="enable the self-healing adaptive runtime "
+                                "(closed-loop remediation with canary "
+                                "windows and rollback)")
+    serve_cmd.add_argument("--adapt-interval", type=float, default=0.25,
+                           help="seconds between background remediation "
+                                "ticks (default 0.25)")
+
+    adapt_cmd = sub.add_parser(
+        "adapt",
+        help="run the adaptive runtime A/B on a drifting demo workload",
+    )
+    adapt_cmd.add_argument("--pre-runs", type=int, default=10,
+                           help="runs before the drift (default 10)")
+    adapt_cmd.add_argument("--post-runs", type=int, default=24,
+                           help="runs after the drift (default 24)")
+    adapt_cmd.add_argument("--working-set", type=int, default=256,
+                           help="pre-drift distinct values (default 256)")
+    adapt_cmd.add_argument("--drift-working-set", type=int, default=4096,
+                           help="post-drift distinct values (default 4096)")
+    adapt_cmd.add_argument("--repeats", type=int, default=4,
+                           help="times each run cycles its working set "
+                                "(default 4)")
+    adapt_cmd.add_argument("--distinct-rows", type=int, default=512,
+                           help="initial DISTINCT cache rows (default 512)")
+    adapt_cmd.add_argument("--workers", type=int, default=4,
+                           help="cluster workers (default 4)")
+    adapt_cmd.add_argument("--seed", type=int, default=0, help="workload seed")
+    adapt_cmd.add_argument("--no-verify", action="store_true",
+                           help="skip the per-run reference-executor check")
+    adapt_cmd.add_argument("--events-out", metavar="PATH", default=None,
+                           help="write the structured event log (JSONL) to PATH")
+    adapt_cmd.add_argument("--actions-out", metavar="PATH", default=None,
+                           help="write the remediation action history "
+                                "(JSONL) to PATH")
 
     trace_cmd = sub.add_parser(
         "trace", help="render a trace JSONL export (see serve --trace-out) as trees"
@@ -385,6 +420,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         enable_packing=not args.no_packing,
         default_timeout=args.timeout,
         verify=args.verify,
+        adapt=args.adapt,
+        adapt_interval=args.adapt_interval,
     )
     mismatches: List[str] = []
     shed = [0]
@@ -440,6 +477,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(f"health   : {len(report.get('health', []))} signatures tracked, "
           f"{len(degraded)} degraded, "
           f"{len(report.get('events', []))} events retained")
+    remediation = summary.get("remediation")
+    if remediation is not None:
+        outcomes: dict = {}
+        for record in remediation["history"]:
+            outcomes[record["outcome"]] = outcomes.get(record["outcome"], 0) + 1
+        print(f"adapt    : {len(remediation['history'])} remediation "
+              f"records ({', '.join(f'{k}={v}' for k, v in sorted(outcomes.items())) or 'none'})")
     if args.metrics_out is not None:
         with open(args.metrics_out, "w") as handle:
             json.dump(report, handle, indent=2, sort_keys=True)
@@ -451,6 +495,64 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         count = service.export_events(args.events_out)
         print(f"events   : {count} events written to {args.events_out}")
     return 0 if exact else 1
+
+
+def _cmd_adapt(args: argparse.Namespace) -> int:
+    from .adapt.scenario import drift_tables, run_scenario
+    from .engine.cluster import ClusterConfig
+
+    sizing = dict(
+        pre_runs=args.pre_runs,
+        post_runs=args.post_runs,
+        pre_working_set=args.working_set,
+        post_working_set=args.drift_working_set,
+        repeats=args.repeats,
+        seed=args.seed,
+    )
+    config = ClusterConfig(distinct_rows=args.distinct_rows, seed=args.seed)
+    capacity = args.distinct_rows * config.distinct_cols
+    print(f"scenario : DISTINCT drift, working set {args.working_set} -> "
+          f"{args.drift_working_set} (cache capacity {capacity})")
+    arms = {}
+    for name, adaptive in (("static", False), ("adaptive", True)):
+        arms[name] = run_scenario(
+            drift_tables(**sizing),
+            base_config=config,
+            workers=args.workers,
+            adaptive=adaptive,
+            verify=not args.no_verify,
+        )
+    for name, arm in arms.items():
+        tail = arm.phase_pruning("post-drift", tail=3)
+        print(f"{name:9s}: pre-drift pruning {arm.phase_pruning('pre-drift'):.2%}, "
+              f"post-drift {arm.phase_pruning('post-drift'):.2%} "
+              f"(last 3 runs {tail:.2%})")
+    adaptive = arms["adaptive"]
+    outcomes = adaptive.outcomes()
+    print(f"actions  : " + (", ".join(
+        f"{k}={v}" for k, v in sorted(outcomes.items())) or "none"))
+    for record in (adaptive.engine.stats()["history"] if adaptive.engine else ()):
+        print(f"  - v{record.get('version', '?')} [{record['outcome']}] "
+              f"{record['action']}: {record.get('detail', '')}")
+    if not args.no_verify:
+        exact = adaptive.all_exact and arms["static"].all_exact
+        print(f"results  : {'ALL EXACT' if exact else 'MISMATCH'} "
+              f"vs the reference executor")
+        if not exact:
+            return 1
+    if args.events_out is not None:
+        count = adaptive.events.to_jsonl(args.events_out)
+        print(f"events   : {count} events written to {args.events_out}")
+    if args.actions_out is not None and adaptive.engine is not None:
+        count = adaptive.engine.to_jsonl(args.actions_out)
+        print(f"actions  : {count} records written to {args.actions_out}")
+    recovered = (
+        adaptive.phase_pruning("post-drift", tail=3)
+        > arms["static"].phase_pruning("post-drift", tail=3)
+    )
+    print(f"verdict  : adaptive arm "
+          f"{'RECOVERED pruning' if recovered else 'did not beat static'}")
+    return 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -532,6 +634,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "metrics": _cmd_metrics,
         "chaos": _cmd_chaos,
         "serve": _cmd_serve,
+        "adapt": _cmd_adapt,
         "trace": _cmd_trace,
         "health": _cmd_health,
         "table2": _cmd_table2,

@@ -18,7 +18,9 @@ the switch-resident points at FIN.
 from __future__ import annotations
 
 from collections import Counter
+from contextlib import ExitStack
 from dataclasses import dataclass, field
+from dataclasses import replace as dataclass_replace
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -269,6 +271,10 @@ class ClusterConfig:
     """
 
     batch_size: Optional[int] = None
+    #: Wall-clock seconds one parallel shard task may run before the
+    #: runner retries it (once on the pool, then sequentially in the
+    #: parent).  ``None`` (the default) disables shard timeouts.
+    shard_timeout: Optional[float] = None
     #: Execute via the fused single-pass dataplane
     #: (:mod:`repro.switch.fuse`) where possible: the packed multi-query
     #: path always (default batch ``FUSED_DEFAULT_BATCH`` when
@@ -336,6 +342,10 @@ class ClusterConfig:
             raise ConfigurationError(
                 f"parallelism must be >= 1, got {self.parallelism}"
             )
+        if self.shard_timeout is not None and self.shard_timeout <= 0:
+            raise ConfigurationError(
+                f"shard_timeout must be positive or None, got {self.shard_timeout}"
+            )
         if self.shard_policy not in ("auto", "contiguous", "hash"):
             raise ConfigurationError(
                 f"shard_policy must be 'auto', 'contiguous' or 'hash', "
@@ -353,6 +363,15 @@ class Cluster:
             raise PlanError(f"need at least one worker, got {workers}")
         self.workers = workers
         self.config = config or ClusterConfig()
+        #: Optional :class:`~repro.adapt.store.AdaptiveConfigStore`: when
+        #: attached, runs consult it for per-signature configuration
+        #: overrides, pinned for the duration of each pass (the batch-
+        #: boundary fence remediation hot-swaps rely on).
+        self.adaptive = None
+        #: Optional :class:`~repro.obs.events.EventLog` for engine-level
+        #: structured events (shard timeouts, pool respawns); the serving
+        #: layer points this at its own log.
+        self.events = None
 
     # -- public API ----------------------------------------------------------
 
@@ -370,7 +389,30 @@ class Cluster:
         against the pruner as the global entry cursor crosses them, and
         every graceful-degradation decision is recorded on the result's
         ``faults`` report.
+
+        With an :attr:`adaptive` store attached, the signature's active
+        configuration override (if any) is leased for the whole pass:
+        a remediation hot-swap staged mid-run only takes effect at the
+        next pass — configurations never change under a streaming pruner.
         """
+        if use_cheetah and self.adaptive is not None:
+            with self.adaptive.lease(query.cache_key()) as override:
+                if override is not None and override is not self.config:
+                    return self._with_config(override)._run_resolved(
+                        query, tables, use_cheetah
+                    )
+                return self._run_resolved(query, tables, use_cheetah)
+        return self._run_resolved(query, tables, use_cheetah)
+
+    def _with_config(self, config: ClusterConfig) -> "Cluster":
+        """A lightweight clone running one pass under an override config."""
+        clone = Cluster(self.workers, config)
+        clone.events = self.events
+        return clone
+
+    def _run_resolved(
+        self, query: Query, tables: TableMap, use_cheetah: bool = True
+    ) -> RunResult:
         operator = query.operator
         injector: Optional[FaultInjector] = None
         if use_cheetah and self.config.fault_plan is not None:
@@ -419,9 +461,30 @@ class Cluster:
         query needs it, and the master completes each query from the
         entries forwarded *for it*.  The combined footprint is validated
         with the §6 packing before anything runs.
+
+        With an :attr:`adaptive` store attached, each member query's
+        override is leased for the pass (its pruner is built from its
+        own effective config); the fused plan is compiled conservatively
+        so a variant override can only ever force the per-pruner path,
+        never a wrong fused kernel.
         """
         if not queries:
             raise PlanError("run_packed needs at least one query")
+        if self.adaptive is not None:
+            with ExitStack() as stack:
+                overrides = [
+                    stack.enter_context(self.adaptive.lease(q.cache_key()))
+                    for q in queries
+                ]
+                return self._run_packed_resolved(queries, tables, overrides)
+        return self._run_packed_resolved(queries, tables, None)
+
+    def _run_packed_resolved(
+        self,
+        queries: Sequence[Query],
+        tables: TableMap,
+        overrides: Optional[List[Optional[ClusterConfig]]],
+    ) -> "PackedRunResult":
         ops = [q.operator for q in queries]
         if any(q.where is not None for q in queries):
             raise PlanError("packed queries must fold WHERE into the operator")
@@ -441,11 +504,33 @@ class Cluster:
             for column in query.stream_columns():
                 if column not in columns:
                     columns.append(column)
-        pruners = [self._build_pruner(q, tables, columns=columns) for q in queries]
+        effective = (
+            [override or self.config for override in overrides]
+            if overrides is not None
+            else [self.config] * len(queries)
+        )
+        pruners = [
+            self._build_pruner(q, tables, columns=columns, config=effective[i])
+            for i, q in enumerate(queries)
+        ]
         if self.config.validate_resources:
             from ..switch.compiler import pack
 
             pack([p.footprint() for p in pruners], self.config.model)
+        # The fused plan depends only on the variant axes; with mixed
+        # per-query overrides, OR-ing them is conservative — a query
+        # whose override needs an unfusable variant forces the (exact)
+        # per-pruner fallback for the whole slot.
+        if all(cfg == effective[0] for cfg in effective):
+            plan_config = effective[0]
+        else:
+            plan_config = dataclass_replace(
+                self.config,
+                topn_randomized=any(cfg.topn_randomized for cfg in effective),
+                distinct_fingerprint=any(
+                    cfg.distinct_fingerprint for cfg in effective
+                ),
+            )
         shared = MetricsRegistry()
         phase = PhaseVolume("packed-stream")
         per_query: List[List[Tuple[int, Tuple]]] = [[] for _ in queries]
@@ -456,7 +541,7 @@ class Cluster:
         # survivors stay row-id arrays (no per-entry tuples at all).
         program: Optional[FusedProgram] = None
         if self.config.fused:
-            plan = plan_fused(queries, columns, self.config)
+            plan = plan_fused(queries, columns, plan_config)
             if plan.fused:
                 program = FusedProgram(
                     plan,
@@ -604,15 +689,21 @@ class Cluster:
         return formula.evaluate(entry)
 
     def _build_pruner(
-        self, query: Query, tables: TableMap, columns: Optional[Sequence[str]] = None
+        self,
+        query: Query,
+        tables: TableMap,
+        columns: Optional[Sequence[str]] = None,
+        config: Optional[ClusterConfig] = None,
     ) -> Pruner:
         """Instantiate the pruner for the primary operator.
 
         ``columns`` overrides the payload layout (used by the packed
-        multi-query path, where several queries share one wider stream).
+        multi-query path, where several queries share one wider stream);
+        ``config`` overrides the cluster config (the packed path builds
+        each member query's pruner from its own adaptive override).
         """
         op = query.operator
-        cfg = self.config
+        cfg = config if config is not None else self.config
         if isinstance(op, (CountOp, FilterOp)):
             if columns is None:
                 columns = query.stream_columns()

@@ -67,6 +67,20 @@ class Overloaded(CheetahError):
         self.reason = reason
 
 
+class ShardTimeout(CheetahError):
+    """A parallel shard task exceeded ``ClusterConfig.shard_timeout``.
+
+    The runner retries a timed-out shard once on the pool and then runs
+    it sequentially in the parent as a last resort; this error is raised
+    only when that in-process fallback *also* fails, wrapping the
+    underlying cause.  ``shard`` identifies the offending shard.
+    """
+
+    def __init__(self, message: str, shard: int) -> None:
+        super().__init__(message)
+        self.shard = shard
+
+
 class SharedMemoryUnavailable(CheetahError):
     """OS shared memory could not be allocated for the parallel dataplane.
 

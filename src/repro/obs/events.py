@@ -144,6 +144,24 @@ class EventLog:
             events = events[-limit:]
         return [event.to_dict() for event in events]
 
+    def since(self, seq: int) -> List[Event]:
+        """Retained events with ``seq`` strictly greater than ``seq``.
+
+        The polling primitive for consumers that keep a cursor (the
+        remediation engine): each call hands back only what arrived
+        since the last one.  Events the ring already evicted are simply
+        absent — callers needing loss detection compare against
+        :attr:`dropped`.
+        """
+        with self._lock:
+            return [event for event in self._events if event.seq > seq]
+
+    @property
+    def last_seq(self) -> int:
+        """The sequence number of the most recently emitted event."""
+        with self._lock:
+            return self._seq
+
     def to_jsonl(self, path: str) -> int:
         """Write the retained events to ``path`` as JSONL; return the count."""
         events = self.snapshot()

@@ -68,6 +68,10 @@ class SignatureHealth:
         """Create empty windows of length ``window`` for ``signature``."""
         self.signature = signature
         self.runs = 0
+        #: Operator kind of the last observed run ("distinct", "topn",
+        #: ...) — the remediation engine plans actions from it without
+        #: having to re-parse the canonical signature string.
+        self.op_kind: Optional[str] = None
         self.pruning_ratio: deque = deque(maxlen=window)
         self.latency_s: deque = deque(maxlen=window)
         self.signals: Dict[str, deque] = {
@@ -91,6 +95,7 @@ class SignatureHealth:
         out = {
             "signature": self.signature,
             "runs": self.runs,
+            "op_kind": self.op_kind,
             "window": len(self.pruning_ratio),
             "latency_samples": len(self.latency_s),
             "fused_fallbacks": self.fused_fallbacks,
@@ -183,6 +188,7 @@ class HealthStore:
         with self._lock:
             entry = self._touch_locked(signature)
             entry.runs += 1
+            entry.op_kind = getattr(result, "op_kind", entry.op_kind)
             entry.latency_s.append(float(latency_s))
             pruning = float(result.pruning_rate)
             entry.pruning_ratio.append(pruning)
@@ -352,6 +358,53 @@ class HealthStore:
                 signature=entry.signature,
                 **labels,
             )
+
+    # -- remediation-facing accessors ----------------------------------------
+
+    def runs(self, signature: str) -> int:
+        """How many engine runs the store has observed for ``signature``."""
+        with self._lock:
+            entry = self._signatures.get(signature)
+            return entry.runs if entry is not None else 0
+
+    def op_kind(self, signature: str) -> Optional[str]:
+        """The operator kind of the signature's last run (None if unknown)."""
+        with self._lock:
+            entry = self._signatures.get(signature)
+            return entry.op_kind if entry is not None else None
+
+    def signal_values(self, signature: str, signal: str) -> List[float]:
+        """A copy of one rolling window, oldest first.
+
+        ``signal`` is ``"pruning_ratio"``, ``"latency_s"``, or one of the
+        gauge windows (``"bloom_fill"``, ``"bloom_fpr"``,
+        ``"cache_occupancy"``, ``"cache_fill"``, ``"cache_hit_rate"``).
+        Unknown signatures (or signals never sampled) yield ``[]``.
+        """
+        with self._lock:
+            entry = self._signatures.get(signature)
+            if entry is None:
+                return []
+            if signal == "pruning_ratio":
+                return list(entry.pruning_ratio)
+            if signal == "latency_s":
+                return list(entry.latency_s)
+            window = entry.signals.get(signal)
+            return list(window) if window is not None else []
+
+    def recent_mean(
+        self, signature: str, signal: str, samples: int
+    ) -> Optional[float]:
+        """Mean of the newest ``samples`` values of a window (None if empty).
+
+        The remediation engine's canary primitive: called once just
+        before an action (the degraded tail becomes the baseline) and
+        once after the canary window has filled (the measured outcome).
+        """
+        values = self.signal_values(signature, signal)[-max(1, samples):]
+        if not values:
+            return None
+        return sum(values) / len(values)
 
     # -- reporting -----------------------------------------------------------
 

@@ -29,8 +29,9 @@ from __future__ import annotations
 
 import atexit
 import multiprocessing
+import time
 from collections import Counter
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import replace
 from typing import Callable, Dict, List, Optional, Sequence
@@ -43,7 +44,7 @@ from ..core.skyline import master_skyline
 from ..core.topn import master_topn
 from ..engine.plan import CountOp, FilterOp, DistinctOp, GroupByOp, HavingOp, JoinOp, Query, SkylineOp, TopNOp
 from ..engine.table import Table
-from ..errors import PlanError, SharedMemoryUnavailable
+from ..errors import PlanError, ShardTimeout, SharedMemoryUnavailable
 from ..obs import MetricsRegistry
 from ..obs.tracing import current_context
 from . import shard as shard_mod
@@ -115,19 +116,149 @@ def _attach_trace(specs: Sequence[dict]) -> None:
             spec["trace"] = payload
 
 
-def _scatter(pool, specs, task) -> Dict[int, dict]:
-    """Run shard tasks, collecting results keyed by shard id.
+def _emit_event(cluster, kind: str, message: str, **labels) -> None:
+    """Emit a structured engine event when the cluster carries a log."""
+    events = getattr(cluster, "events", None)
+    if events is not None:
+        events.emit(kind, message, source="parallel", severity="warning", **labels)
 
-    Results are *gathered* in completion order (the pipelining hook —
-    callers may post-process each result as it lands via ``task``'s
-    return value) but always *merged* in shard order by the caller.
+
+def _gather(
+    cluster,
+    specs: Sequence[dict],
+    task,
+    registry: MetricsRegistry,
+    on_result: Optional[Callable[[dict], None]] = None,
+) -> Dict[int, dict]:
+    """Run shard tasks with crash and timeout guardrails.
+
+    Results are *gathered* in completion order (``on_result`` is the
+    pipelining hook — per-shard post-processing runs while other shards
+    are still streaming) but always *merged* in shard order by the
+    caller.  Two recovery paths wrap the plain scatter:
+
+    * **pool respawn** — a ``BrokenProcessPool`` (a crashed worker kills
+      the whole executor) shuts the cached pool down, spawns a fresh one
+      ONCE (``pool_respawns_total``), and resubmits every unfinished
+      shard on it; only a second crash degrades to
+      :class:`SharedMemoryUnavailable` (the caller's sequential
+      fallback).
+    * **shard timeout** — with :attr:`ClusterConfig.shard_timeout` set,
+      a shard that exceeds its deadline is retried once on the pool
+      (``shard_timeouts_total{outcome="retried"}``), then run
+      sequentially in the parent (``outcome="sequential"``) so one
+      wedged worker cannot stall the whole request.  Each expiry emits
+      a ``shard-timeout`` event; an abandoned task keeps occupying its
+      pool slot until it dies, which is the price of not being able to
+      cancel a running process task.
     """
-    futures = [pool.submit(task, spec) for spec in specs]
+    processes = cluster.config.parallelism
+    timeout = cluster.config.shard_timeout
     results: Dict[int, dict] = {}
-    for future in as_completed(futures):
-        result = future.result()
-        results[result["shard"]] = result
+    #: future -> (spec, absolute deadline or None, already retried?)
+    pending: Dict[object, tuple] = {}
+    pool = get_pool(processes)
+    respawned = False
+
+    def harvest(result: dict) -> None:
+        shard = result["shard"]
+        if shard not in results:
+            results[shard] = result
+            if on_result is not None:
+                on_result(result)
+
+    def respawn_or_raise(exc: BrokenProcessPool) -> List[tuple]:
+        # One recovery point for both ways a dead pool shows up: a
+        # harvested future raising, or pool.submit raising synchronously
+        # (the pool marks itself broken the moment any worker dies, so a
+        # fast crash surfaces on the NEXT submit of the scatter loop).
+        nonlocal pool, respawned
+        _shutdown_pools()
+        if respawned:
+            raise SharedMemoryUnavailable(
+                f"shard pool died twice: {exc}"
+            ) from exc
+        respawned = True
+        registry.counter(
+            "pool_respawns_total",
+            "Process pools respawned after a BrokenProcessPool crash.",
+        ).inc()
+        _emit_event(
+            cluster,
+            "pool-respawn",
+            "shard pool died; respawned once and retrying the batch",
+            processes=str(processes),
+        )
+        pool = get_pool(processes)
+        pending.clear()  # dead-pool futures; late results are ignored
+        return [(s, False) for s in specs if s["shard"] not in results]
+
+    #: (spec, already retried?) waiting for a pool slot.
+    queue: List[tuple] = [(spec, False) for spec in specs]
+    while queue or pending:
+        while queue:
+            spec, retried = queue.pop(0)
+            deadline = None if timeout is None else time.monotonic() + timeout
+            try:
+                pending[pool.submit(task, spec)] = (spec, deadline, retried)
+            except BrokenProcessPool as exc:
+                queue = respawn_or_raise(exc)
+        wait_s = None
+        if timeout is not None:
+            deadlines = [d for (_, d, _) in pending.values() if d is not None]
+            if deadlines:
+                wait_s = max(0.0, min(deadlines) - time.monotonic())
+        done, _ = wait(list(pending), timeout=wait_s, return_when=FIRST_COMPLETED)
+        broken: Optional[BrokenProcessPool] = None
+        for future in done:
+            spec, _, _ = pending.pop(future)
+            try:
+                harvest(future.result())
+            except BrokenProcessPool as exc:
+                broken = exc
+        if broken is not None:
+            queue = respawn_or_raise(broken)
+            continue
+        if timeout is None:
+            continue
+        now = time.monotonic()
+        for future, (spec, deadline, retried) in list(pending.items()):
+            if deadline is None or now < deadline or future.done():
+                continue
+            del pending[future]  # abandoned; a late result is ignored
+            shard = spec["shard"]
+            outcome = "sequential" if retried else "retried"
+            registry.counter(
+                "shard_timeouts_total",
+                "Shard tasks that exceeded the per-shard timeout.",
+                outcome=outcome,
+            ).inc()
+            _emit_event(
+                cluster,
+                "shard-timeout",
+                f"shard {shard} exceeded {timeout:.3f}s; "
+                + ("running sequentially in the parent" if retried
+                   else "retrying once on the pool"),
+                shard=str(shard),
+                outcome=outcome,
+            )
+            if not retried:
+                queue.append((spec, True))
+                continue
+            try:
+                harvest(task(spec))
+            except Exception as exc:
+                raise ShardTimeout(
+                    f"shard {shard} timed out twice and the in-process "
+                    f"fallback failed: {exc}",
+                    shard,
+                ) from exc
     return results
+
+
+def _scatter(cluster, specs, task, registry: MetricsRegistry) -> Dict[int, dict]:
+    """Run shard tasks, collecting results keyed by shard id."""
+    return _gather(cluster, specs, task, registry)
 
 
 def run_parallel(cluster, query: Query, tables) -> "RunResult":
@@ -263,19 +394,23 @@ def _run_single_pass(cluster, query: Query, tables, policy: str) -> "RunResult":
             }
             for k in range(shards)
         ]
-        pool = get_pool(shards)
-        results: Dict[int, dict] = {}
         with registry.trace("stream"):
             _attach_trace(specs)
-            futures = [pool.submit(worker.run_single_pass_shard, s) for s in specs]
-            for future in as_completed(futures):
-                result = future.result()
-                results[result["shard"]] = result
+
+            def pipelined(result: dict) -> None:
                 # Pipelined completion: reduce this shard's survivors
                 # while other shards are still streaming.
                 partials[result["shard"]] = _prepare_single(
                     query, table, result["survivors"]
                 )
+
+            results = _gather(
+                cluster,
+                specs,
+                worker.run_single_pass_shard,
+                registry,
+                on_result=pipelined,
+            )
     finally:
         store.close()
     for k in range(shards):
@@ -335,7 +470,7 @@ def _run_join(cluster, query: Query, tables) -> "RunResult":
             for k in range(shards)
         ]
         _attach_trace(specs)
-        results = _scatter(get_pool(shards), specs, worker.run_join_shard)
+        results = _scatter(cluster, specs, worker.run_join_shard, registry)
     finally:
         store.close()
     total = len(left_col) + len(right_col)
@@ -402,7 +537,7 @@ def _run_having(cluster, query: Query, tables) -> "RunResult":
             for k in range(shards)
         ]
         _attach_trace(specs)
-        results = _scatter(get_pool(shards), specs, worker.run_having_shard)
+        results = _scatter(cluster, specs, worker.run_having_shard, registry)
     finally:
         store.close()
     sketch = PhaseVolume("having-sketch")
@@ -470,7 +605,7 @@ def _run_skyline(cluster, query: Query, tables) -> "RunResult":
         ]
         with registry.trace("skyline-stream"):
             _attach_trace(specs)
-            results = _scatter(get_pool(shards), specs, worker.run_skyline_shard)
+            results = _scatter(cluster, specs, worker.run_skyline_shard, registry)
     finally:
         store.close()
     for k in range(shards):

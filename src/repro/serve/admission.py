@@ -159,7 +159,12 @@ class AdmissionController:
         self.condition = threading.Condition()
         self.closed = False
         self._queue: Deque[Request] = deque()
-        self._ewma_seconds = 0.0
+        #: EWMA of observed per-query service seconds.  ``None`` until
+        #: the first completion: the cold start is deliberately
+        #: optimistic (estimated wait 0.0) so a burst arriving before
+        #: any completion is never shed with ``reason="deadline"`` off a
+        #: guessed service time — the first *measurement* seeds it.
+        self._ewma_seconds: Optional[float] = None
         registry = registry if registry is not None else null_registry()
         self._depth_gauge = registry.gauge(
             "serve_queue_depth", "Requests waiting for a pipeline slot."
@@ -260,9 +265,17 @@ class AdmissionController:
         return [head] + list(extras)
 
     def note_service_seconds(self, per_query: float) -> None:
-        """Feed one observed per-query service time into the EWMA."""
+        """Feed one observed per-query service time into the EWMA.
+
+        The first completion *seeds* the estimate (no smoothing against
+        a made-up prior); later ones blend in with ``_EWMA_ALPHA``.  An
+        explicit ``None`` sentinel — not a ``0.0`` initial value — marks
+        the unseeded state, so a genuine sub-resolution first
+        measurement still seeds rather than being mistaken for "never
+        observed".
+        """
         with self.condition:
-            if self._ewma_seconds == 0.0:
+            if self._ewma_seconds is None:
                 self._ewma_seconds = per_query
             else:
                 self._ewma_seconds = (
@@ -270,8 +283,20 @@ class AdmissionController:
                     + _EWMA_ALPHA * per_query
                 )
 
+    @property
+    def ewma_seconds(self) -> Optional[float]:
+        """The current service-time estimate (None before first completion)."""
+        return self._ewma_seconds
+
     def estimated_wait(self) -> float:
-        """Estimated seconds the backlog needs before a new arrival runs."""
+        """Estimated seconds the backlog needs before a new arrival runs.
+
+        Before the first completion there is no measured basis for a
+        wait estimate, so the cold start answers 0.0 — deadline shedding
+        only ever acts on measured history, never on a hard-coded guess.
+        """
+        if self._ewma_seconds is None:
+            return 0.0
         return len(self._queue) * self._ewma_seconds / self.concurrency
 
     # -- lifecycle -----------------------------------------------------------

@@ -67,6 +67,19 @@ class _LRU:
     def __len__(self) -> int:
         return len(self._entries)
 
+    def remove_where(self, predicate: Callable[[object], bool]) -> int:
+        """Atomically drop every entry whose key satisfies ``predicate``.
+
+        One pass under the lock — concurrent readers see either all
+        matching entries or none, never a half-invalidated cache.
+        Returns how many entries were removed.
+        """
+        with self._lock:
+            doomed = [key for key in self._entries if predicate(key)]
+            for key in doomed:
+                del self._entries[key]
+            return len(doomed)
+
     def stats(self) -> Dict[str, int]:
         """Point-in-time ``{"entries", "hits", "misses"}``."""
         return {"entries": len(self._entries), "hits": self.hits, "misses": self.misses}
@@ -161,6 +174,28 @@ class ProgramCache:
         self._lru.put(key, plan)
         return plan
 
+    def invalidate_signature(self, cache_key: str) -> int:
+        """Drop the footprint and every fused plan touching ``cache_key``.
+
+        The remediation engine's version fence: after a configuration
+        hot-swap the old footprint and any fused plan compiled over the
+        old variant must never be served again.  Plain entries are keyed
+        by the signature itself; fused entries by the tuple of member
+        signatures — both shapes are matched in one atomic sweep.
+        """
+
+        def doomed(key: object) -> bool:
+            if key == cache_key:
+                return True
+            return (
+                isinstance(key, tuple)
+                and len(key) == 3
+                and key[0] == "fused"
+                and cache_key in key[1]
+            )
+
+        return self._lru.remove_where(doomed)
+
     def stats(self) -> Dict[str, int]:
         """Hit/miss/occupancy accounting for reports."""
         return self._lru.stats()
@@ -182,6 +217,19 @@ class ResultCache:
     def put(self, cache_key: str, version: int, output: object) -> None:
         """Cache a frozen view of ``output`` for this plan + version."""
         self._lru.put((cache_key, version), freeze_result(output))
+
+    def invalidate_signature(self, cache_key: str) -> int:
+        """Drop every retained version of one signature's output.
+
+        Outputs are exact regardless of switch configuration, so this is
+        a freshness fence, not a correctness one: after a remediation
+        hot-swap the next request re-executes under the new configuration
+        and the canary window measures a real post-action run instead of
+        replaying a pre-action answer.
+        """
+        return self._lru.remove_where(
+            lambda key: isinstance(key, tuple) and key[0] == cache_key
+        )
 
     def stats(self) -> Dict[str, int]:
         """Hit/miss/occupancy accounting for reports."""

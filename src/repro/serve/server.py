@@ -90,6 +90,9 @@ class QueryService:
         max_spans: int = 4096,
         health_window: int = 64,
         event_capacity: int = 512,
+        adapt: bool = False,
+        adapt_interval: float = 0.25,
+        adapt_options: Optional[dict] = None,
     ) -> None:
         if worker_threads <= 0:
             raise ConfigurationError(
@@ -175,6 +178,37 @@ class QueryService:
             "serve_entries_forwarded_total",
             "Entries forwarded to the master by slots this service executed.",
         )
+        # Engine-level structured events (shard timeouts, pool respawns)
+        # land in the same log as the serving layer's own.
+        self.cluster.events = self.events
+        #: The adaptive runtime (None unless ``adapt=True``): a per-
+        #: signature config-override store leased by every engine pass,
+        #: and the remediation engine ticking over health detections.
+        self.adaptive = None
+        self.remediation = None
+        self._adapt_stop = threading.Event()
+        self._adapt_thread: Optional[threading.Thread] = None
+        if adapt:
+            from ..adapt import AdaptiveConfigStore, RemediationEngine
+
+            self.adaptive = AdaptiveConfigStore(self.cluster.config)
+            self.cluster.adaptive = self.adaptive
+            self.remediation = RemediationEngine(
+                health=self.health,
+                store=self.adaptive,
+                events=self.events,
+                registry=self.registry,
+                invalidate=self._invalidate_signature,
+                **(adapt_options or {}),
+            )
+            if adapt_interval > 0:
+                self._adapt_thread = threading.Thread(
+                    target=self._adapt_loop,
+                    args=(adapt_interval,),
+                    name="serve-adapt",
+                    daemon=True,
+                )
+                self._adapt_thread.start()
         self._pool = ThreadPoolExecutor(
             max_workers=worker_threads, thread_name_prefix="serve-exec"
         )
@@ -289,6 +323,52 @@ class QueryService:
         """The current table version (result-cache epoch)."""
         return self._tables_version
 
+    # -- adaptive runtime ----------------------------------------------------
+
+    def _invalidate_signature(self, signature: str) -> None:
+        """The remediation engine's version fence into the serving caches.
+
+        Both caches drop every entry for the swapped signature (each
+        sweep atomic under its cache's lock), so no footprint, fused
+        plan, or cached answer compiled or computed under the old
+        configuration outlives the hot-swap.
+        """
+        programs = self.programs.invalidate_signature(signature)
+        results = self.results.invalidate_signature(signature)
+        self.events.emit(
+            "cache-invalidation",
+            f"remediation hot-swap dropped {programs} program and "
+            f"{results} result cache entries",
+            source="adapt",
+            severity="info",
+            signature=signature,
+            programs=str(programs),
+            results=str(results),
+        )
+
+    def _adapt_loop(self, interval: float) -> None:
+        while not self._adapt_stop.wait(interval):
+            try:
+                self.remediation.tick()
+            except Exception as error:  # never kill the tick thread
+                self.events.emit(
+                    "fault",
+                    f"remediation tick failed: {error}",
+                    source="adapt",
+                    severity="error",
+                    error=type(error).__name__,
+                )
+
+    def remediate_now(self) -> int:
+        """Run one remediation tick synchronously (tests, CLI drains).
+
+        Returns the number of state changes (applies, commits,
+        rollbacks, freezes); 0 when no adaptive runtime is attached.
+        """
+        if self.remediation is None:
+            return 0
+        return self.remediation.tick()
+
     # -- test/operator hooks -------------------------------------------------
 
     def pause(self) -> None:
@@ -324,6 +404,9 @@ class QueryService:
             self._closed = True
             self._stopping = True
             self._paused = False
+        self._adapt_stop.set()
+        if self._adapt_thread is not None:
+            self._adapt_thread.join(timeout)
         self.admission.close(drain=drain)
         self._scheduler_thread.join(timeout)
         with self._state:
@@ -593,6 +676,8 @@ class QueryService:
             "fused_plans": fused_cache_stats(),
         }
         summary["degraded_signatures"] = self.health.degraded_signatures()
+        if self.remediation is not None:
+            summary["remediation"] = self.remediation.stats()
         return {
             "benchmark": "serving",
             "artifact": "query-service",

@@ -1,0 +1,197 @@
+"""Crash and timeout guardrails of the parallel runner (`_gather`).
+
+These drive :func:`repro.parallel.runner._gather` directly with small
+task functions so the recovery machinery — pool respawn after a
+``BrokenProcessPool``, per-shard timeout retry, in-parent sequential
+fallback — is exercised without multi-second real workloads.  Task
+functions live at module level so the fork-started pool pickles them by
+reference; crash-once behaviour is coordinated through flag files.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.engine.cluster import Cluster, ClusterConfig
+from repro.errors import ShardTimeout, SharedMemoryUnavailable
+from repro.obs import EventLog, MetricsRegistry
+from repro.parallel import runner
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="resilience tests coordinate through fork-inherited module state",
+)
+
+
+def make_cluster(parallelism: int, shard_timeout=None) -> Cluster:
+    cluster = Cluster(
+        workers=parallelism,
+        config=ClusterConfig(
+            parallelism=parallelism, shard_timeout=shard_timeout
+        ),
+    )
+    cluster.events = EventLog()
+    return cluster
+
+
+def event_kinds(cluster) -> list:
+    return [event["kind"] for event in cluster.events.snapshot()]
+
+
+# -- module-level task functions (picklable by reference) -------------------
+
+
+def crash_once_task(spec: dict) -> dict:
+    """Die hard on the first call per flag file, succeed afterwards."""
+    if spec.get("crash") and not os.path.exists(spec["flag"]):
+        with open(spec["flag"], "w"):
+            pass
+        os._exit(13)  # kills the worker -> BrokenProcessPool in the parent
+    return {"shard": spec["shard"], "ok": True}
+
+
+def crash_always_task(spec: dict) -> dict:
+    os._exit(13)
+
+
+def slow_once_task(spec: dict) -> dict:
+    """Sleep past the deadline on the first call, return fast afterwards."""
+    if not os.path.exists(spec["flag"]):
+        with open(spec["flag"], "w"):
+            pass
+        time.sleep(spec["sleep"])
+    return {"shard": spec["shard"], "ok": True}
+
+
+def slow_in_child_task(spec: dict) -> dict:
+    """Sleep only in pool workers; the in-parent fallback returns fast."""
+    if os.getpid() != spec["parent_pid"]:
+        time.sleep(spec["sleep"])
+    return {"shard": spec["shard"], "ok": True}
+
+
+def fail_in_parent_task(spec: dict) -> dict:
+    """Wedge in pool workers AND blow up in the parent fallback."""
+    if os.getpid() != spec["parent_pid"]:
+        time.sleep(spec["sleep"])
+        return {"shard": spec["shard"], "ok": True}
+    raise ValueError("parent fallback rejected")
+
+
+# -- pool respawn -----------------------------------------------------------
+
+
+class TestPoolRespawn:
+    def test_respawn_once_recovers_the_batch(self, tmp_path):
+        cluster = make_cluster(parallelism=2)
+        registry = MetricsRegistry()
+        flag = str(tmp_path / "crashed")
+        specs = [
+            {"shard": 0, "crash": True, "flag": flag},
+            {"shard": 1, "crash": False, "flag": flag},
+        ]
+        results = runner._gather(cluster, specs, crash_once_task, registry)
+        assert sorted(results) == [0, 1]
+        assert all(results[k]["ok"] for k in results)
+        assert registry.counter_values()["pool_respawns_total{}"] == 1
+        assert "pool-respawn" in event_kinds(cluster)
+
+    def test_second_crash_degrades_to_sequential_fallback_error(self):
+        cluster = make_cluster(parallelism=2)
+        registry = MetricsRegistry()
+        specs = [{"shard": 0}, {"shard": 1}]
+        with pytest.raises(SharedMemoryUnavailable, match="died twice"):
+            runner._gather(cluster, specs, crash_always_task, registry)
+        # Respawned exactly once before giving up.
+        assert registry.counter_values()["pool_respawns_total{}"] == 1
+
+    def test_end_to_end_run_survives_a_worker_crash(self, tmp_path):
+        # The cluster-level contract: a crashed pool never surfaces to
+        # the caller as an exception; the run completes (respawned pool
+        # or the cluster's sequential fallback) with the right answer.
+        from repro.engine.plan import CountOp, Query
+        from repro.engine.reference import run_reference
+        from repro.engine.expressions import col
+        from repro.workloads import bigdata
+
+        tables = bigdata.tables(
+            bigdata.BigDataScale(
+                rankings_rows=500, uservisits_rows=1000, distinct_urls=100
+            ),
+            seed=1,
+        )
+        query = Query(CountOp("UserVisits", col("duration") > 1800))
+        cluster = make_cluster(parallelism=2)
+        # Crash the cached pool out from under the next run.
+        pool = runner.get_pool(2)
+        pool.submit(crash_always_task, {"shard": 0})
+        result = cluster.run(query, tables)
+        assert result.output == run_reference(query, tables)
+
+
+# -- shard timeouts ---------------------------------------------------------
+
+
+class TestShardTimeouts:
+    def test_timeout_retried_once_on_the_pool(self, tmp_path):
+        cluster = make_cluster(parallelism=2, shard_timeout=0.4)
+        registry = MetricsRegistry()
+        spec = {"shard": 0, "flag": str(tmp_path / "slow"), "sleep": 3.0}
+        results = runner._gather(cluster, [spec], slow_once_task, registry)
+        assert results[0]["ok"]
+        counters = registry.counter_values()
+        assert counters["shard_timeouts_total{outcome=retried}"] == 1
+        assert "shard_timeouts_total{outcome=sequential}" not in counters
+        events = [
+            e for e in cluster.events.snapshot() if e["kind"] == "shard-timeout"
+        ]
+        assert len(events) == 1
+        assert events[0]["labels"]["outcome"] == "retried"
+        assert events[0]["labels"]["shard"] == "0"
+
+    def test_second_timeout_falls_back_to_in_parent_sequential(self):
+        # parallelism=1: the retry queues behind the abandoned sleeper
+        # occupying the only pool slot, so it times out too and the
+        # parent runs the task inline (where it returns immediately).
+        cluster = make_cluster(parallelism=1, shard_timeout=0.4)
+        registry = MetricsRegistry()
+        spec = {"shard": 0, "parent_pid": os.getpid(), "sleep": 2.0}
+        started = time.monotonic()
+        results = runner._gather(cluster, [spec], slow_in_child_task, registry)
+        assert results[0]["ok"]
+        # The sequential fallback ran in the parent, not after the
+        # sleeper woke up.
+        assert time.monotonic() - started < spec["sleep"]
+        counters = registry.counter_values()
+        assert counters["shard_timeouts_total{outcome=retried}"] == 1
+        assert counters["shard_timeouts_total{outcome=sequential}"] == 1
+        outcomes = [
+            e["labels"]["outcome"]
+            for e in cluster.events.snapshot()
+            if e["kind"] == "shard-timeout"
+        ]
+        assert outcomes == ["retried", "sequential"]
+
+    def test_failed_fallback_raises_typed_shard_timeout(self):
+        cluster = make_cluster(parallelism=1, shard_timeout=0.4)
+        registry = MetricsRegistry()
+        spec = {"shard": 0, "parent_pid": os.getpid(), "sleep": 2.0}
+        with pytest.raises(ShardTimeout, match="timed out twice") as excinfo:
+            runner._gather(cluster, [spec], fail_in_parent_task, registry)
+        assert excinfo.value.shard == 0
+
+    def test_no_timeout_configured_means_no_deadline_machinery(self, tmp_path):
+        cluster = make_cluster(parallelism=2, shard_timeout=None)
+        registry = MetricsRegistry()
+        flag = str(tmp_path / "slowish")
+        spec = {"shard": 0, "flag": flag, "sleep": 0.2}
+        results = runner._gather(cluster, [spec], slow_once_task, registry)
+        assert results[0]["ok"]
+        assert "shard_timeouts_total{outcome=retried}" not in (
+            registry.counter_values()
+        )
+        assert event_kinds(cluster) == []

@@ -1,24 +1,26 @@
 #!/usr/bin/env python
-"""Gate fused-pipeline performance against checked-in reference ratios.
+"""Gate benchmark speedups against checked-in reference ratios.
 
 Usage::
 
     python scripts/check_perf_regression.py \
-        benchmarks/results/fused_pipelines.metrics.json \
-        [benchmarks/references/fused_pipelines.reference.json]
+        benchmarks/results/<bench>.metrics.json \
+        [benchmarks/references/<bench>.reference.json]
 
-Compares the *speedup ratios* (fused vs per-pruner) of a fresh
-``bench_fused_pipelines`` run against the reference file.  Ratios, not
-wall times, are the gated quantity: absolute throughput varies wildly
-across hosts and CI runners, but "fusion makes the packed pass N times
-faster on the same machine in the same process" is stable — so a
-collapse of the ratio means the fused dataplane itself regressed.
+Compares the *speedup ratios* of a fresh benchmark run (any envelope
+with per-workload ``speedup`` figures — ``bench_fused_pipelines``'s
+fused-vs-per-pruner ratio, ``bench_serving``'s resident-vs-per-run
+setup ratio) against the reference file.  Ratios, not wall times, are
+the gated quantity: absolute throughput varies wildly across hosts and
+CI runners, but "the optimization makes the same pass N times faster on
+the same machine in the same process" is stable — so a collapse of the
+ratio means the optimization itself regressed.
 
 The tolerance is deliberately generous (a workload fails only when its
 speedup drops below ``reference / tolerance_factor``, 3x by default):
 small smoke streams lose some of the ratio to fixed setup costs, and
-this gate exists to catch "fusion stopped helping", not 10% noise.
-Exit status 1 on any regression, 0 otherwise.
+this gate exists to catch "the optimization stopped helping", not 10%
+noise.  Exit status 1 on any regression, 0 otherwise.
 """
 
 from __future__ import annotations
@@ -54,7 +56,7 @@ def check(metrics_path: Path, reference_path: Path) -> int:
         floor = float(expected) / tolerance
         verdict = "ok" if measured >= floor else "REGRESSED"
         print(
-            f"  {name}: fused speedup {measured:.2f}x "
+            f"  {name}: speedup {measured:.2f}x "
             f"(reference {expected:.2f}x, floor {floor:.2f}x) {verdict}"
         )
         if measured < floor:
@@ -67,7 +69,7 @@ def check(metrics_path: Path, reference_path: Path) -> int:
         for failure in failures:
             print(f"  - {failure}")
         return 1
-    print(f"OK {metrics_path}: fused speedups within tolerance")
+    print(f"OK {metrics_path}: speedups within tolerance")
     return 0
 
 

@@ -55,6 +55,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="vectorized batch size (default: scalar "
                             "streaming sequentially, 65536 per shard when "
                             "--parallelism > 1)")
+    query.add_argument("--resident", action="store_true",
+                       help="keep table columns and shard plans resident in "
+                            "shared memory across runs (repro.parallel.resident)")
     query.add_argument("--seed", type=int, default=0, help="workload seed")
     query.add_argument("--network-gbps", type=float, default=10.0,
                        help="NIC limit for the cost model (default 10)")
@@ -122,6 +125,10 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="per-request deadline budget in seconds")
     serve_cmd.add_argument("--parallelism", type=int, default=1,
                            help="shard processes per engine run (default 1)")
+    serve_cmd.add_argument("--resident", action="store_true",
+                           help="export the served tables to shared memory "
+                                "once per table version; every slot reads "
+                                "through the resident views")
     serve_cmd.add_argument("--seed", type=int, default=0, help="workload seed")
     serve_cmd.add_argument("--verify", action="store_true",
                            help="re-check every answer against the reference "
@@ -219,13 +226,17 @@ def _cmd_query(args: argparse.Namespace) -> int:
         config=ClusterConfig(
             batch_size=args.batch_size,
             parallelism=args.parallelism,
+            resident=args.resident,
             seed=args.seed,
         ),
     )
-    if args.no_verify:
-        result = cluster.run(query, tables)
-    else:
-        result = cluster.run_verified(query, tables)
+    try:
+        if args.no_verify:
+            result = cluster.run(query, tables)
+        else:
+            result = cluster.run_verified(query, tables)
+    finally:
+        cluster.release_resident()
     model = CostModel(network_gbps=args.network_gbps)
     cheetah = model.cheetah_breakdown(result)
     spark = model.spark_breakdown(result, first_run=False)
@@ -407,6 +418,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     expected = {sql: run_reference(parse(sql), tables) for sql in _SERVE_WORKLOAD}
     config = ClusterConfig(
         parallelism=args.parallelism,
+        resident=args.resident,
         seed=args.seed,
         fused_trace_sample=args.fused_trace_sample,
     )
@@ -463,6 +475,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           f"{summary['slots_solo']} solo")
     print(f"caches   : {summary['cache_hits']} result hits, "
           f"{summary['program_cache']['hits']} program hits")
+    resident = summary.get("resident")
+    if resident is not None:
+        print(f"resident : v{resident['version']} "
+              f"{resident['segments']} segments "
+              f"({resident['resident_bytes']} bytes), "
+              f"{resident['exports']} exports / {resident['reuses']} reuses")
     print(f"traffic  : {summary['streamed']} streamed, "
           f"{summary['forwarded']} forwarded "
           f"({summary['pruning_rate']:.2%} pruned)")

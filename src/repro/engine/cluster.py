@@ -323,6 +323,14 @@ class ClusterConfig:
     #: active; keep the stride large — per-batch spans are the most
     #: voluminous signal the tracer can produce.
     fused_trace_sample: int = 0
+    #: Keep this cluster's tables resident in shared memory across runs
+    #: (:mod:`repro.parallel.resident`): columns and hash-shard plans
+    #: are exported once per table version and reused by parallel shard
+    #: processes, the sequential path, and packed slots alike.  The
+    #: serving layer versions residency explicitly (``ensure_resident``
+    #: on every ``update_tables``); standalone clusters build a store
+    #: lazily on the first Cheetah run.
+    resident: bool = False
 
     def __post_init__(self) -> None:
         if self.batch_size is not None and self.batch_size <= 0:
@@ -372,6 +380,10 @@ class Cluster:
         #: structured events (shard timeouts, pool respawns); the serving
         #: layer points this at its own log.
         self.events = None
+        #: Optional :class:`~repro.parallel.resident.ResidentTableStore`
+        #: installed by :meth:`ensure_resident` when
+        #: :attr:`ClusterConfig.resident` is on.
+        self.resident = None
 
     # -- public API ----------------------------------------------------------
 
@@ -408,7 +420,88 @@ class Cluster:
         """A lightweight clone running one pass under an override config."""
         clone = Cluster(self.workers, config)
         clone.events = self.events
+        clone.resident = self.resident
         return clone
+
+    # -- table residency -----------------------------------------------------
+
+    def ensure_resident(self, tables: TableMap, version: Optional[int] = None):
+        """Install (or reuse) a resident store covering ``tables``.
+
+        A no-op (returns ``None``) unless :attr:`ClusterConfig.resident`
+        is set.  The current store is reused when it is live, covers
+        every table by identity, and — when ``version`` is given (the
+        serving layer's ``tables_version``) — carries that version;
+        otherwise it is retired (segments unlinked once in-flight runs
+        drain) and a fresh store is built for the new epoch.  A host
+        without shared memory returns ``None``: every path already
+        treats "no resident store" as the per-run export mode.
+        """
+        if not self.config.resident:
+            return None
+        from ..errors import SharedMemoryUnavailable
+        from ..parallel.resident import ResidentTableStore
+
+        store = self.resident
+        if (
+            store is not None
+            and not store.retired
+            and store.matches(tables)
+            and (version is None or store.version == version)
+        ):
+            return store
+        next_version = (
+            version
+            if version is not None
+            else (store.version + 1 if store is not None else 0)
+        )
+        self.resident = None
+        if store is not None:
+            store.retire()
+        try:
+            self.resident = ResidentTableStore(tables, version=next_version)
+        except SharedMemoryUnavailable:
+            self.resident = None
+        return self.resident
+
+    def release_resident(self):
+        """Retire the resident store (if any); segments unlink when the
+        last leased run drains.  Returns the retired store."""
+        store, self.resident = self.resident, None
+        if store is not None:
+            store.retire()
+        return store
+
+    def _resident_projection(
+        self, name: str, table: Table, columns: Sequence[str]
+    ) -> Optional[Table]:
+        """A zero-copy resident view of ``table`` for in-process streaming.
+
+        ``None`` whenever the store is absent, retired, or does not own
+        this exact ``table`` object (the identity version fence) — the
+        caller streams the original columns, which is always exact.  The
+        lease taken here lives exactly as long as the projection object:
+        it is released by a finalizer when the run drops its last
+        reference, so a concurrent retire can never unmap pages a
+        streaming pass is still reading (closing a segment invalidates
+        every view over it, even ones numpy still holds).
+        """
+        import weakref
+
+        from ..errors import SharedMemoryUnavailable
+
+        store = self.resident
+        if store is None or not store.owns(name, table):
+            return None
+        if not store.acquire():
+            return None
+        try:
+            projection = store.project(name, columns)
+        except SharedMemoryUnavailable:
+            store.release()
+            return None
+        weakref.finalize(projection, store.release)
+        return projection
 
     def _run_resolved(
         self, query: Query, tables: TableMap, use_cheetah: bool = True
@@ -417,6 +510,18 @@ class Cluster:
         injector: Optional[FaultInjector] = None
         if use_cheetah and self.config.fault_plan is not None:
             injector = FaultInjector(self.config.fault_plan)
+        if (
+            use_cheetah
+            and injector is None
+            and self.config.resident
+            and self.resident is None
+        ):
+            # Lazy standalone residency — built only when no store exists
+            # at all.  A store that doesn't cover this run's tables is
+            # left alone (a request holding a stale snapshot must not
+            # retire the current epoch); the run just takes the per-run
+            # export path, which is always exact.
+            self.ensure_resident(tables)
         if use_cheetah and self.config.parallelism > 1 and injector is None:
             from ..errors import SharedMemoryUnavailable
             from ..parallel.runner import run_parallel
@@ -534,8 +639,18 @@ class Cluster:
         shared = MetricsRegistry()
         phase = PhaseVolume("packed-stream")
         per_query: List[List[Tuple[int, Tuple]]] = [[] for _ in queries]
+        # Packed slots stream through resident views too (same fence and
+        # fallback semantics as the sequential single-pass path; lazy
+        # build only when no store exists, so a stale-snapshot slot can
+        # never retire the current epoch).
+        if self.config.resident and self.resident is None:
+            self.ensure_resident(tables)
+        stream_table = table
+        projection = self._resident_projection(ops[0].table, table, columns)
+        if projection is not None:
+            stream_table = projection
         with shared.trace("partition"):
-            parts = self._partitions(table)
+            parts = self._partitions(stream_table)
         # Fused dataplane: compile the packed program once; when every
         # query fuses, one vectorized pass accumulates all keep-masks and
         # survivors stay row-id arrays (no per-entry tuples at all).
@@ -1024,8 +1139,17 @@ class Cluster:
         # Fault injection needs per-entry granularity; force the scalar path.
         batch_size = self.config.batch_size if injector is None else None
         chaos = _ChaosState()
+        # Stream through resident views when the store owns this exact
+        # table: the sequential path then reads the same physical pages
+        # the shard processes map.  Completion still gathers from the
+        # original table (identical values either way).
+        stream_table = table
+        if use_cheetah and injector is None:
+            projection = self._resident_projection(op.table, table, columns)
+            if projection is not None:
+                stream_table = projection
         with registry.trace("partition"):
-            parts = self._partitions(table)
+            parts = self._partitions(stream_table)
         # The fused dataplane engages only on batched Cheetah runs (so a
         # batch_size=None run keeps its exact counter schema) and only
         # when the single-query program compiles; unfusable programs are

@@ -101,6 +101,25 @@ def _batch_size(cluster) -> int:
     return cluster.config.batch_size or DEFAULT_BATCH
 
 
+def _acquire_resident(cluster, needed: Dict[str, Table]):
+    """Lease the cluster's resident store when it covers this run.
+
+    ``needed`` maps table names to the exact :class:`Table` objects the
+    run streams; identity mismatch (a swapped or WHERE-masked table) or
+    a retired store returns ``None`` — the per-run export path, never a
+    mixed-version read.  The caller must ``release()`` the lease.
+    """
+    store = getattr(cluster, "resident", None)
+    if store is None:
+        return None
+    for name, table in needed.items():
+        if not store.owns(name, table):
+            return None
+    if not store.acquire():
+        return None
+    return store
+
+
 def _attach_trace(specs: Sequence[dict]) -> None:
     """Stamp the active trace context into every shard task spec.
 
@@ -364,28 +383,53 @@ def _run_single_pass(cluster, query: Query, tables, policy: str) -> "RunResult":
     cluster._maybe_validate(cluster._build_pruner(query, tables))
     cluster._build_where_stage(query, columns)
     registry = MetricsRegistry()
-    with registry.trace("partition"):
-        export = {name: table.column(name) for name in columns}
-        layouts: List[tuple] = []
-        if policy == shard_mod.HASHED:
-            key_values = shard_mod.shard_key_values(op, table)
-            for k, index in enumerate(shard_mod.plan_hash_shards(key_values, shards)):
-                export[f"__shard_idx_{k}"] = index
-                layouts.append(("index", f"__shard_idx_{k}"))
-        else:
-            bounds = table.partition_bounds(shards)
-            layouts = [
-                ("bounds", int(bounds[k]), int(bounds[k + 1]))
-                for k in range(shards)
-            ]
-        store = SharedColumnStore(export)
+    resident = _acquire_resident(cluster, {op.table: table})
+    ephemeral: Optional[SharedColumnStore] = None
     phase = PhaseVolume("stream")
     partials: Dict[int, object] = {}
     try:
+        with registry.trace("partition"):
+            layouts: List[tuple] = []
+            if resident is not None:
+                # Resident fast path: columns and hash plans were (or
+                # are now, once) exported for the table's lifetime.
+                handle = dict(resident.column_entries(op.table, columns))
+                if policy == shard_mod.HASHED:
+                    entries = resident.plan_entries(
+                        op.table,
+                        shard_mod.shard_key_signature(op),
+                        shards,
+                        lambda: shard_mod.cached_hash_plan(op, table, shards),
+                    )
+                    for k, entry in enumerate(entries):
+                        handle[f"__shard_idx_{k}"] = entry
+                        layouts.append(("index", f"__shard_idx_{k}"))
+                else:
+                    bounds = table.partition_bounds(shards)
+                    layouts = [
+                        ("bounds", int(bounds[k]), int(bounds[k + 1]))
+                        for k in range(shards)
+                    ]
+            else:
+                export = {name: table.column(name) for name in columns}
+                if policy == shard_mod.HASHED:
+                    plan = shard_mod.cached_hash_plan(op, table, shards)
+                    for k, index in enumerate(plan):
+                        export[f"__shard_idx_{k}"] = index
+                        layouts.append(("index", f"__shard_idx_{k}"))
+                else:
+                    bounds = table.partition_bounds(shards)
+                    layouts = [
+                        ("bounds", int(bounds[k]), int(bounds[k + 1]))
+                        for k in range(shards)
+                    ]
+                ephemeral = SharedColumnStore(export)
+                handle = ephemeral.handle()
         specs = [
             {
                 "shard": k,
-                "handle": store.handle(),
+                "handle": handle,
+                "resident": resident.token if resident is not None else None,
                 "query": query,
                 "config": _child_config(cluster, k),
                 "columns": columns,
@@ -412,7 +456,10 @@ def _run_single_pass(cluster, query: Query, tables, policy: str) -> "RunResult":
                 on_result=pipelined,
             )
     finally:
-        store.close()
+        if ephemeral is not None:
+            ephemeral.close()
+        if resident is not None:
+            resident.release()
     for k in range(shards):
         phase.streamed += results[k]["streamed"]
         phase.forwarded += results[k]["forwarded"]
@@ -443,24 +490,60 @@ def _run_join(cluster, query: Query, tables) -> "RunResult":
     op = query.operator
     if query.where is not None:
         raise PlanError("pre-filtered JOIN is not modeled; filter the table first")
-    left_col = tables[op.table].column(op.left_on)
-    right_col = tables[op.right_table].column(op.right_on)
+    left_table = tables[op.table]
+    right_table = tables[op.right_table]
+    left_col = left_table.column(op.left_on)
+    right_col = right_table.column(op.right_on)
     shards = cluster.config.parallelism
     registry = MetricsRegistry()
-    export: Dict[str, np.ndarray] = {"left": left_col, "right": right_col}
-    # Both key columns shard by the SAME hash, so a key's build entries
-    # and probe entries meet on one shard's Bloom filter.
-    left_shards = shard_mod.plan_hash_shards(left_col, shards)
-    right_shards = shard_mod.plan_hash_shards(right_col, shards)
-    for k in range(shards):
-        export[f"__left_idx_{k}"] = left_shards[k]
-        export[f"__right_idx_{k}"] = right_shards[k]
-    store = SharedColumnStore(export)
+    resident = _acquire_resident(
+        cluster, {op.table: left_table, op.right_table: right_table}
+    )
+    ephemeral: Optional[SharedColumnStore] = None
     try:
+        # Both key columns shard by the SAME hash, so a key's build
+        # entries and probe entries meet on one shard's Bloom filter.
+        if resident is not None:
+            handle = {
+                "left": resident.column_entries(op.table, [op.left_on])[
+                    op.left_on
+                ],
+                "right": resident.column_entries(op.right_table, [op.right_on])[
+                    op.right_on
+                ],
+            }
+            left_entries = resident.plan_entries(
+                op.table,
+                ("column", op.left_on),
+                shards,
+                lambda: shard_mod.cached_column_plan(left_col, shards),
+            )
+            right_entries = resident.plan_entries(
+                op.right_table,
+                ("column", op.right_on),
+                shards,
+                lambda: shard_mod.cached_column_plan(right_col, shards),
+            )
+            for k in range(shards):
+                handle[f"__left_idx_{k}"] = left_entries[k]
+                handle[f"__right_idx_{k}"] = right_entries[k]
+        else:
+            export: Dict[str, np.ndarray] = {
+                "left": left_col,
+                "right": right_col,
+            }
+            left_shards = shard_mod.cached_column_plan(left_col, shards)
+            right_shards = shard_mod.cached_column_plan(right_col, shards)
+            for k in range(shards):
+                export[f"__left_idx_{k}"] = left_shards[k]
+                export[f"__right_idx_{k}"] = right_shards[k]
+            ephemeral = SharedColumnStore(export)
+            handle = ephemeral.handle()
         specs = [
             {
                 "shard": k,
-                "handle": store.handle(),
+                "handle": handle,
+                "resident": resident.token if resident is not None else None,
                 "query": query,
                 "config": _child_config(cluster, k),
                 "left_index": f"__left_idx_{k}",
@@ -472,7 +555,10 @@ def _run_join(cluster, query: Query, tables) -> "RunResult":
         _attach_trace(specs)
         results = _scatter(cluster, specs, worker.run_join_shard, registry)
     finally:
-        store.close()
+        if ephemeral is not None:
+            ephemeral.close()
+        if resident is not None:
+            resident.release()
     total = len(left_col) + len(right_col)
     build = PhaseVolume("join-build", streamed=total)
     probe = PhaseVolume("join-probe", streamed=total)
@@ -515,20 +601,40 @@ def _run_having(cluster, query: Query, tables) -> "RunResult":
     op = query.operator
     table = tables[op.table]
     if query.where is not None:
+        # A WHERE-masked table is a fresh object, so it never matches the
+        # resident store (owns() is identity) — the per-run path below.
         table = table.mask(query.where.mask(table))
     keys_col = table.column(op.key)
     values_col = table.column(op.value)
     shards = cluster.config.parallelism
     registry = MetricsRegistry()
-    export: Dict[str, np.ndarray] = {"key": keys_col, "value": values_col}
-    for k, index in enumerate(shard_mod.plan_hash_shards(keys_col, shards)):
-        export[f"__idx_{k}"] = index
-    store = SharedColumnStore(export)
+    resident = _acquire_resident(cluster, {op.table: table})
+    ephemeral: Optional[SharedColumnStore] = None
     try:
+        if resident is not None:
+            entries = resident.column_entries(op.table, [op.key, op.value])
+            handle = {"key": entries[op.key], "value": entries[op.value]}
+            plan_entries = resident.plan_entries(
+                op.table,
+                shard_mod.shard_key_signature(op),
+                shards,
+                lambda: shard_mod.cached_hash_plan(op, table, shards),
+            )
+            for k, entry in enumerate(plan_entries):
+                handle[f"__idx_{k}"] = entry
+        else:
+            export: Dict[str, np.ndarray] = {"key": keys_col, "value": values_col}
+            for k, index in enumerate(
+                shard_mod.cached_hash_plan(op, table, shards)
+            ):
+                export[f"__idx_{k}"] = index
+            ephemeral = SharedColumnStore(export)
+            handle = ephemeral.handle()
         specs = [
             {
                 "shard": k,
-                "handle": store.handle(),
+                "handle": handle,
+                "resident": resident.token if resident is not None else None,
                 "query": query,
                 "config": _child_config(cluster, k),
                 "index": f"__idx_{k}",
@@ -539,7 +645,10 @@ def _run_having(cluster, query: Query, tables) -> "RunResult":
         _attach_trace(specs)
         results = _scatter(cluster, specs, worker.run_having_shard, registry)
     finally:
-        store.close()
+        if ephemeral is not None:
+            ephemeral.close()
+        if resident is not None:
+            resident.release()
     sketch = PhaseVolume("having-sketch")
     candidates: set = set()
     for k in range(shards):
@@ -581,22 +690,39 @@ def _run_skyline(cluster, query: Query, tables) -> "RunResult":
     op = query.operator
     table = tables[op.table]
     if query.where is not None:
+        # Fresh object after masking — never matches the resident store.
         table = table.mask(query.where.mask(table))
     columns = list(op.columns)
-    matrix = np.column_stack(
-        [table.column(name).astype(np.float64) for name in columns]
-    ) if table.num_rows else np.empty((0, len(columns)))
+
+    def build_matrix() -> np.ndarray:
+        if not table.num_rows:
+            return np.empty((0, len(columns)))
+        return np.column_stack(
+            [table.column(name).astype(np.float64) for name in columns]
+        )
+
     shards = cluster.config.parallelism
     registry = MetricsRegistry()
     bounds = table.partition_bounds(shards)
-    store = SharedColumnStore({"points": matrix})
+    resident = _acquire_resident(cluster, {op.table: table})
+    ephemeral: Optional[SharedColumnStore] = None
     phase = PhaseVolume("skyline-stream")
     received: List[tuple] = []
     try:
+        if resident is not None:
+            # The derived float matrix is itself resident: built and
+            # exported once per (table, dimension columns).
+            handle = {
+                "points": resident.matrix_entry(op.table, columns, build_matrix)
+            }
+        else:
+            ephemeral = SharedColumnStore({"points": build_matrix()})
+            handle = ephemeral.handle()
         specs = [
             {
                 "shard": k,
-                "handle": store.handle(),
+                "handle": handle,
+                "resident": resident.token if resident is not None else None,
                 "config": _child_config(cluster, k),
                 "layout": ("bounds", int(bounds[k]), int(bounds[k + 1])),
                 "batch": _batch_size(cluster),
@@ -607,7 +733,10 @@ def _run_skyline(cluster, query: Query, tables) -> "RunResult":
             _attach_trace(specs)
             results = _scatter(cluster, specs, worker.run_skyline_shard, registry)
     finally:
-        store.close()
+        if ephemeral is not None:
+            ephemeral.close()
+        if resident is not None:
+            resident.release()
     for k in range(shards):
         phase.streamed += results[k]["streamed"]
         phase.forwarded += results[k]["forwarded"]

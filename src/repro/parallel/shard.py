@@ -25,7 +25,10 @@ of silently computing a wrong answer.
 
 from __future__ import annotations
 
-from typing import List, Optional
+import threading
+import weakref
+from collections import OrderedDict
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -103,6 +106,122 @@ def plan_hash_shards(values: np.ndarray, shards: int) -> List[np.ndarray]:
         np.flatnonzero(assignment == shard).astype(np.int64)
         for shard in range(shards)
     ]
+
+
+# -- shard-plan memoization ---------------------------------------------------
+#
+# Hash-shard planning is deterministic in (key array, shard count), and a
+# serving table's columns are immutable, so the per-run recomputation of
+# shard_key_values + plan_hash_shards is pure waste on repeat queries.
+# The cache keys on (anchor id, signature, parallelism) with a *weakref*
+# to the anchor (a Table or a column array): ``id()`` alone can collide
+# after garbage collection, so a hit also checks the weakref still points
+# at the same live object.  A swapped table map (the serving layer's
+# ``tables_version`` bump) holds new objects, so stale plans can never be
+# served — they just age out.  :func:`invalidate_shard_plans` is the
+# explicit hook (the serving layer calls it on ``update_tables``).
+
+_PLAN_CACHE: "OrderedDict[tuple, tuple]" = OrderedDict()
+_PLAN_CACHE_MAX = 128
+_PLAN_LOCK = threading.Lock()
+_PLAN_STATS = {"hits": 0, "misses": 0}
+
+
+def _plan_cache_lookup(key: tuple, anchor: object):
+    """``(hit, value)`` — a hit requires the anchor to still be alive."""
+    with _PLAN_LOCK:
+        slot = _PLAN_CACHE.get(key)
+        if slot is not None:
+            ref, value = slot
+            if ref() is anchor:
+                _PLAN_STATS["hits"] += 1
+                _PLAN_CACHE.move_to_end(key)
+                return True, value
+            del _PLAN_CACHE[key]  # id() recycled by a different object
+        _PLAN_STATS["misses"] += 1
+        return False, None
+
+
+def _plan_cache_store(key: tuple, anchor: object, value: object) -> None:
+    with _PLAN_LOCK:
+        _PLAN_CACHE[key] = (weakref.ref(anchor), value)
+        _PLAN_CACHE.move_to_end(key)
+        while len(_PLAN_CACHE) > _PLAN_CACHE_MAX:
+            _PLAN_CACHE.popitem(last=False)
+
+
+def shard_key_signature(op) -> tuple:
+    """What the shard key derivation depends on, as a hashable tuple.
+
+    GROUP BY and HAVING over the same key column share a signature (and
+    therefore a cached plan): both partition on that column's values.
+    """
+    if isinstance(op, DistinctOp):
+        return ("distinct", tuple(op.columns))
+    if isinstance(op, TopNOp):
+        return ("column", op.order_by)
+    if isinstance(op, (GroupByOp, HavingOp)):
+        return ("column", op.key)
+    raise ConfigurationError(
+        f"{type(op).__name__} has no shard key; use contiguous sharding"
+    )
+
+
+def cached_key_values(op, table: Table) -> np.ndarray:
+    """:func:`shard_key_values`, memoized per (table, key signature)."""
+    key = ("keys", id(table), shard_key_signature(op))
+    hit, values = _plan_cache_lookup(key, table)
+    if hit:
+        return values
+    values = shard_key_values(op, table)
+    _plan_cache_store(key, table, values)
+    return values
+
+
+def cached_hash_plan(op, table: Table, shards: int) -> List[np.ndarray]:
+    """:func:`plan_hash_shards` over the operator's shard key, memoized
+    per (table, key signature, parallelism)."""
+    key = ("plan", id(table), shard_key_signature(op), shards)
+    hit, plan = _plan_cache_lookup(key, table)
+    if hit:
+        return plan
+    plan = plan_hash_shards(cached_key_values(op, table), shards)
+    _plan_cache_store(key, table, plan)
+    return plan
+
+
+def cached_column_plan(values: np.ndarray, shards: int) -> List[np.ndarray]:
+    """:func:`plan_hash_shards` over a raw key column (JOIN sides),
+    memoized per (column array, parallelism)."""
+    key = ("colplan", id(values), shards)
+    hit, plan = _plan_cache_lookup(key, values)
+    if hit:
+        return plan
+    plan = plan_hash_shards(values, shards)
+    _plan_cache_store(key, values, plan)
+    return plan
+
+
+def invalidate_shard_plans() -> int:
+    """Drop every memoized shard plan; returns how many were dropped.
+
+    The explicit invalidation hook for table swaps — identity fencing
+    already guarantees correctness, this reclaims the memory eagerly.
+    """
+    with _PLAN_LOCK:
+        dropped = len(_PLAN_CACHE)
+        _PLAN_CACHE.clear()
+        return dropped
+
+
+def shard_plan_cache_stats() -> Dict[str, int]:
+    """Point-in-time ``{"entries", "hits", "misses"}``."""
+    with _PLAN_LOCK:
+        return {
+            "entries": len(_PLAN_CACHE),
+            "hits": _PLAN_STATS["hits"],
+            "misses": _PLAN_STATS["misses"],
+        }
 
 
 def derive_shard_seed(base_seed: int, shard: int) -> int:

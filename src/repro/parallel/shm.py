@@ -80,13 +80,26 @@ class SharedColumnStore:
         """The picklable attachment descriptor for worker processes."""
         return self._handle
 
+    def segment_names(self) -> List[str]:
+        """The live segment names (leak assertions in tests)."""
+        return [segment.name for segment in self._segments]
+
     def close(self) -> None:
-        """Unmap and unlink every segment (idempotent)."""
+        """Unmap and unlink every segment (idempotent).
+
+        Unlink runs first and unconditionally per segment: even when a
+        lingering exported buffer makes the unmap fail, no ``/dev/shm``
+        name survives — the error paths between store creation and task
+        submission must never leak a block.
+        """
         for segment in self._segments:
             try:
-                segment.close()
                 segment.unlink()
             except Exception:  # pragma: no cover - already gone
+                pass
+            try:
+                segment.close()
+            except Exception:  # pragma: no cover - exported buffer alive
                 pass
         self._segments = []
 
@@ -95,6 +108,25 @@ class SharedColumnStore:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+def open_segment(name: str):
+    """Attach one existing segment by name.
+
+    The resident worker cache (:mod:`repro.parallel.worker`) maps each
+    segment of a :class:`~repro.parallel.resident.ResidentTableStore`
+    once per store token and keeps it attached across tasks; a missing
+    segment (the store was retired under us) surfaces as
+    :class:`SharedMemoryUnavailable`, the caller's sequential fallback.
+    """
+    if _shared_memory is None:  # pragma: no cover
+        raise SharedMemoryUnavailable("multiprocessing.shared_memory missing")
+    try:
+        return _shared_memory.SharedMemory(name=name)
+    except Exception as exc:
+        raise SharedMemoryUnavailable(
+            f"could not attach shared-memory segment {name!r}: {exc}"
+        ) from exc
 
 
 def attach_columns(

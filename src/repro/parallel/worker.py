@@ -19,8 +19,10 @@ sequential counter families exactly.
 
 from __future__ import annotations
 
+import dataclasses
+from collections import OrderedDict
 from contextlib import contextmanager
-from typing import Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -30,7 +32,7 @@ from ..core.skyline import SkylinePruner
 from ..obs import MetricsRegistry
 from ..obs.tracing import TraceContext, clear_trace_context, trace_context
 from ..switch.fuse import FusedProgram, plan_fused, record_fallback
-from .shm import attach_columns
+from .shm import attach_columns, open_segment
 
 
 def _shard_trace(spec: dict, registry=None, span: str = ""):
@@ -64,6 +66,118 @@ def _shard_trace(spec: dict, registry=None, span: str = ""):
     return _activate_and_time()
 
 
+# -- resident warm-worker caches ----------------------------------------------
+#
+# Pool processes persist across runs, so a task spec carrying a resident
+# store token (``spec["resident"]``) opts into two per-process caches:
+#
+# * **segment attachments** — each resident segment is mapped once per
+#   token and stays mapped across tasks; per-task specs (no token) keep
+#   the attach-and-close-per-task discipline.  Only one token's segments
+#   stay attached at a time: a task carrying a *different* token evicts
+#   the old epoch's mappings, so a retired store's pages are released as
+#   soon as the new epoch's first task lands (and at the latest when the
+#   pool dies).
+# * **pruner templates** — pruners keyed by (token, kind, plan signature,
+#   config signature); a hit calls :meth:`~repro.core.base.Pruner.reset`
+#   (zeroed metrics + stats + dataplane state, identical hash seeds)
+#   instead of rebuilding.  ``resident_pruner_{builds,reuses}_total``
+#   counters ride back in each task's metrics snapshot.
+
+_RESIDENT_SEGMENTS: Dict[str, Dict[str, object]] = {}
+_PRUNER_TEMPLATES: "OrderedDict[tuple, object]" = OrderedDict()
+_PRUNER_TEMPLATES_MAX = 64
+
+
+def _noop_close() -> None:
+    return None
+
+
+def _attach(spec: dict) -> Tuple[Dict[str, np.ndarray], Callable[[], None]]:
+    """``(columns, close)`` for a task spec, resident-aware.
+
+    Resident handles resolve against the persistent per-token segment
+    cache (``close`` is a no-op — the mappings outlive the task); plain
+    handles fall through to :func:`attach_columns`.
+    """
+    token = spec.get("resident")
+    if token is None:
+        return attach_columns(spec["handle"])
+    for stale in [t for t in _RESIDENT_SEGMENTS if t != token]:
+        for segment in _RESIDENT_SEGMENTS.pop(stale).values():
+            try:
+                segment.close()
+            except Exception:  # pragma: no cover
+                pass
+        _evict_templates(stale)
+    cache = _RESIDENT_SEGMENTS.setdefault(token, {})
+    columns: Dict[str, np.ndarray] = {}
+    for name, entry in spec["handle"].items():
+        if entry[0] == "inline":
+            columns[name] = entry[1]
+            continue
+        _, segment_name, shape, dtype = entry
+        segment = cache.get(segment_name)
+        if segment is None:
+            segment = open_segment(segment_name)
+            cache[segment_name] = segment
+        columns[name] = np.ndarray(shape, dtype=np.dtype(dtype), buffer=segment.buf)
+    return columns, _noop_close
+
+
+def _evict_templates(token: str) -> None:
+    for key in [k for k in _PRUNER_TEMPLATES if k[0] == token]:
+        del _PRUNER_TEMPLATES[key]
+
+
+def _config_signature(cfg) -> tuple:
+    """A hashable digest of every pruner-relevant config field."""
+    return tuple(
+        (field.name, repr(getattr(cfg, field.name)))
+        for field in dataclasses.fields(cfg)
+        if field.name != "fault_plan"
+    )
+
+
+def _template(
+    spec: dict,
+    kind: str,
+    plan_key: object,
+    registry: MetricsRegistry,
+    build: Callable[[], object],
+):
+    """A pruner for this task: reset-and-reuse under a resident token.
+
+    Non-resident tasks build fresh (the prior behavior).  The reuse
+    leans on the final :meth:`Pruner.reset` contract — a reset pruner is
+    indistinguishable from a freshly built one with the same seed.
+    """
+    token = spec.get("resident")
+    if token is None:
+        return build()
+    key = (token, kind, plan_key, _config_signature(spec["config"]))
+    pruner = _PRUNER_TEMPLATES.get(key)
+    if pruner is None:
+        pruner = build()
+        if pruner is None:  # nothing to cache (e.g. no WHERE stage)
+            return None
+        _PRUNER_TEMPLATES[key] = pruner
+        registry.counter(
+            "resident_pruner_builds_total",
+            "Pruner templates built into the resident worker cache.",
+        ).inc()
+    else:
+        pruner.reset()
+        registry.counter(
+            "resident_pruner_reuses_total",
+            "Pruner templates reused (reset) from the resident worker cache.",
+        ).inc()
+    _PRUNER_TEMPLATES.move_to_end(key)
+    while len(_PRUNER_TEMPLATES) > _PRUNER_TEMPLATES_MAX:
+        _PRUNER_TEMPLATES.popitem(last=False)
+    return pruner
+
+
 def _empty_ids() -> np.ndarray:
     return np.empty(0, dtype=np.int64)
 
@@ -79,7 +193,7 @@ def run_single_pass_shard(spec: dict) -> dict:
     """
     from ..engine.cluster import Cluster, _absorb_pruner, _op_kind
 
-    columns_map, close = attach_columns(spec["handle"])
+    columns_map, close = _attach(spec)
     try:
         query = spec["query"]
         op = query.operator
@@ -93,9 +207,16 @@ def run_single_pass_shard(spec: dict) -> dict:
             arrays = [columns_map[name][lo:hi] for name in columns]
         cfg = spec["config"]
         cluster = Cluster(workers=1, config=cfg)
-        pruner = cluster._build_pruner(query, {})
-        where_pruner = cluster._build_where_stage(query, columns)
         registry = MetricsRegistry()
+        plan_key = query.cache_key()
+        pruner = _template(
+            spec, "primary", plan_key, registry,
+            lambda: cluster._build_pruner(query, {}),
+        )
+        where_pruner = _template(
+            spec, "where", plan_key, registry,
+            lambda: cluster._build_where_stage(query, columns),
+        )
         # Fused kernel under the same engagement rule as the sequential
         # path (explicit batch_size), so the parent's absorb_sharded merge
         # reproduces the sequential counter families exactly.  Shard
@@ -176,21 +297,24 @@ def run_join_shard(spec: dict) -> dict:
     """
     from ..engine.cluster import _absorb_pruner
 
-    columns_map, close = attach_columns(spec["handle"])
+    columns_map, close = _attach(spec)
     try:
         op = spec["query"].operator
         cfg = spec["config"]
         left_keys = columns_map["left"][columns_map[spec["left_index"]]]
         right_keys = columns_map["right"][columns_map[spec["right_index"]]]
-        pruner = JoinPruner(
-            left=op.table,
-            right=op.right_table,
-            memory_bits=cfg.join_memory_bits,
-            hashes=cfg.join_hashes,
-            variant=cfg.join_variant,
-            seed=cfg.seed,
-        )
         registry = MetricsRegistry()
+        pruner = _template(
+            spec, "join", spec["query"].cache_key(), registry,
+            lambda: JoinPruner(
+                left=op.table,
+                right=op.right_table,
+                memory_bits=cfg.join_memory_bits,
+                hashes=cfg.join_hashes,
+                variant=cfg.join_variant,
+                seed=cfg.seed,
+            ),
+        )
         with _shard_trace(spec), registry.trace("join-build"):
             pruner.build(left_keys, right_keys)
         probe_forwarded = 0
@@ -229,21 +353,24 @@ def run_having_shard(spec: dict) -> dict:
     """
     from ..engine.cluster import _absorb_pruner
 
-    columns_map, close = attach_columns(spec["handle"])
+    columns_map, close = _attach(spec)
     try:
         op = spec["query"].operator
         cfg = spec["config"]
         index = columns_map[spec["index"]]
         keys = columns_map["key"][index]
         values = columns_map["value"][index]
-        pruner = HavingPruner(
-            threshold=op.threshold,
-            aggregate=op.aggregate,
-            width=cfg.having_width,
-            depth=cfg.having_depth,
-            seed=cfg.seed,
-        )
         registry = MetricsRegistry()
+        pruner = _template(
+            spec, "having", spec["query"].cache_key(), registry,
+            lambda: HavingPruner(
+                threshold=op.threshold,
+                aggregate=op.aggregate,
+                width=cfg.having_width,
+                depth=cfg.having_depth,
+                seed=cfg.seed,
+            ),
+        )
         forwarded = 0
         id_parts: List[np.ndarray] = []
         batch = spec["batch"]
@@ -273,17 +400,20 @@ def run_skyline_shard(spec: dict) -> dict:
     """
     from ..engine.cluster import _absorb_pruner
 
-    columns_map, close = attach_columns(spec["handle"])
+    columns_map, close = _attach(spec)
     try:
         cfg = spec["config"]
         lo, hi = spec["layout"][1], spec["layout"][2]
         matrix = columns_map["points"][lo:hi]
-        pruner = SkylinePruner(
-            dims=matrix.shape[1],
-            points=cfg.skyline_points,
-            score=cfg.skyline_score,
-        )
         registry = MetricsRegistry()
+        pruner = _template(
+            spec, "skyline", ("dims", int(matrix.shape[1])), registry,
+            lambda: SkylinePruner(
+                dims=matrix.shape[1],
+                points=cfg.skyline_points,
+                score=cfg.skyline_score,
+            ),
+        )
         received: List[Tuple[float, ...]] = []
         forwarded = 0
         batch = spec["batch"]

@@ -231,6 +231,17 @@ class ResultCache:
             lambda key: isinstance(key, tuple) and key[0] == cache_key
         )
 
+    def evict_stale(self, version: int) -> int:
+        """Drop every entry cached under a version other than ``version``.
+
+        Version keying already makes stale entries unservable; this
+        sweep (the serving layer runs it on ``update_tables``) reclaims
+        their memory eagerly instead of waiting for LRU ageing.
+        """
+        return self._lru.remove_where(
+            lambda key: isinstance(key, tuple) and key[1] != version
+        )
+
     def stats(self) -> Dict[str, int]:
         """Hit/miss/occupancy accounting for reports."""
         return self._lru.stats()

@@ -396,3 +396,110 @@ class TestSharedMemory:
                 assert len(attached["a"]) == 0
             finally:
                 close()
+
+    def test_error_between_export_and_submit_unlinks_segments(self, monkeypatch):
+        """Satellite regression: an exception after segment creation but
+        before task submission must leave nothing behind in /dev/shm."""
+        import os
+
+        import repro.parallel.runner as runner
+        from repro.parallel.shm import SharedColumnStore
+
+        created: list = []
+
+        class RecordingStore(SharedColumnStore):
+            def __init__(self, columns):
+                super().__init__(columns)
+                created.extend(self.segment_names())
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("injected failure before submission")
+
+        monkeypatch.setattr(runner, "SharedColumnStore", RecordingStore)
+        monkeypatch.setattr(runner, "_gather", boom)
+        tables = make_tables(1)
+        with pytest.raises(RuntimeError, match="injected failure"):
+            cluster(2).run(make_query("filter"), tables)
+        assert created, "the store was never built — test is vacuous"
+        for name in created:
+            assert not os.path.exists(f"/dev/shm/{name}"), name
+
+    def test_close_survives_live_attached_views(self):
+        from repro.parallel.shm import SharedColumnStore, attach_columns
+
+        store = SharedColumnStore({"a": np.arange(64, dtype=np.int64)})
+        names = store.segment_names()
+        attached, close = attach_columns(store.handle())
+        view = attached["a"]
+        store.close()  # unlink must succeed even with the view alive
+        import os
+
+        for name in names:
+            assert not os.path.exists(f"/dev/shm/{name}")
+        assert view.sum() == np.arange(64).sum()  # pages live until close
+        close()
+
+
+class TestShardPlanCache:
+    def setup_method(self):
+        from repro.parallel.shard import invalidate_shard_plans
+
+        invalidate_shard_plans()
+
+    def test_repeat_runs_hit_the_plan_cache(self):
+        """Satellite: hash-partition planning is memoized per
+        (table identity, key signature, parallelism)."""
+        from repro.parallel.shard import shard_plan_cache_stats
+
+        tables = make_tables(1)
+        query = make_query("distinct")
+        c = cluster(2)
+        c.run_verified(query, tables)
+        before = shard_plan_cache_stats()
+        c.run_verified(query, tables)
+        after = shard_plan_cache_stats()
+        assert after["hits"] > before["hits"]
+        assert after["misses"] == before["misses"]
+
+    def test_groupby_and_having_share_key_plans(self):
+        from repro.parallel.shard import (
+            cached_hash_plan,
+            shard_plan_cache_stats,
+        )
+
+        tables = make_tables(2)
+        table = tables["products"]
+        groupby = make_query("groupby").operator
+        having = make_query("having").operator
+        first = cached_hash_plan(groupby, table, 3)
+        hits_before = shard_plan_cache_stats()["hits"]
+        second = cached_hash_plan(having, table, 3)
+        assert shard_plan_cache_stats()["hits"] > hits_before
+        assert all(np.array_equal(a, b) for a, b in zip(first, second))
+
+    def test_swapped_table_never_reuses_plans(self):
+        from repro.parallel.shard import cached_hash_plan
+
+        op = make_query("distinct").operator
+        first = make_tables(1)["products"]
+        plan_a = cached_hash_plan(op, first, 2)
+        swapped = make_tables(30)["products"]
+        plan_b = cached_hash_plan(op, swapped, 2)
+        reference = cached_hash_plan(op, swapped, 2)
+        assert all(np.array_equal(a, b) for a, b in zip(plan_b, reference))
+        assert any(
+            not np.array_equal(a, b) for a, b in zip(plan_a, plan_b)
+        )  # different tables, different plans
+
+    def test_invalidate_drops_everything(self):
+        from repro.parallel.shard import (
+            cached_hash_plan,
+            invalidate_shard_plans,
+            shard_plan_cache_stats,
+        )
+
+        tables = make_tables(3)
+        cached_hash_plan(make_query("distinct").operator, tables["products"], 2)
+        assert shard_plan_cache_stats()["entries"] > 0
+        assert invalidate_shard_plans() > 0
+        assert shard_plan_cache_stats()["entries"] == 0

@@ -34,12 +34,17 @@ from typing import List, Optional
 #: Mirror of repro.obs.events.SEVERITIES (kept dependency-free).
 SEVERITIES = ("info", "warning", "error", "critical")
 
-#: Labels each remediation event kind must carry (the machine-readable
-#: surface the adaptive-runtime artifacts are consumed through).
+#: Labels each well-known event kind must carry (the machine-readable
+#: surface the adaptive-runtime and fleet artifacts are consumed
+#: through — ``repro health`` and the CI gates key on these).
 REQUIRED_LABELS = {
     "remediation-action": ("signature", "action"),
     "remediation-rollback": ("signature", "action"),
     "remediation-frozen": ("signature",),
+    "shed": ("reason", "tenant"),
+    "fleet-spillover": ("tenant", "table", "origin", "target"),
+    "tenant-starvation": ("tenant", "rounds"),
+    "rolling-update": ("replica", "phase"),
 }
 
 

@@ -151,6 +151,41 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="seconds between background remediation "
                                 "ticks (default 0.25)")
 
+    fleet_cmd = sub.add_parser(
+        "fleet",
+        help="run a multi-tenant replica fleet over a ToR/spine fabric "
+             "against a mixed demo workload",
+    )
+    fleet_cmd.add_argument("--rows", type=int, default=8_000,
+                           help="UserVisits rows to generate (default 8000)")
+    fleet_cmd.add_argument("--replicas", type=int, default=2,
+                           help="QueryService replicas (default 2)")
+    fleet_cmd.add_argument("--tors", type=int, default=2,
+                           help="ToR switches in the fabric (default 2)")
+    fleet_cmd.add_argument("--spines", type=int, default=1,
+                           help="spine switches in the fabric (default 1)")
+    fleet_cmd.add_argument("--tenants", type=int, default=3,
+                           help="concurrent tenants (default 3)")
+    fleet_cmd.add_argument("--requests", type=int, default=36,
+                           help="total requests across all tenants (default 36)")
+    fleet_cmd.add_argument("--retries", type=int, default=2,
+                           help="client retries after a typed shed (default 2)")
+    fleet_cmd.add_argument("--max-queue", type=int, default=64,
+                           help="per-replica admission queue depth (default 64)")
+    fleet_cmd.add_argument("--timeout", type=float, default=None,
+                           help="per-request deadline budget in seconds")
+    fleet_cmd.add_argument("--rolling-update", action="store_true",
+                           help="run a rolling table update mid-workload "
+                                "(drain/fence/swap/readmit per replica)")
+    fleet_cmd.add_argument("--seed", type=int, default=0, help="workload seed")
+    fleet_cmd.add_argument("--verify", action="store_true",
+                           help="re-check every answer against the reference "
+                                "executor inside each replica")
+    fleet_cmd.add_argument("--metrics-out", metavar="PATH", default=None,
+                           help="write the fleet report (JSON envelope) to PATH")
+    fleet_cmd.add_argument("--events-out", metavar="PATH", default=None,
+                           help="write the fleet event log (JSONL) to PATH")
+
     adapt_cmd = sub.add_parser(
         "adapt",
         help="run the adaptive runtime A/B on a drifting demo workload",
@@ -515,6 +550,107 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0 if exact else 1
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    import threading
+
+    from .engine.reference import run_reference
+    from .errors import Overloaded
+    from .fleet import FabricTopology, FleetController, TenantQuota
+    from .serve import ServeClient
+
+    scale = bigdata.BigDataScale(
+        rankings_rows=max(1000, args.rows // 2),
+        uservisits_rows=args.rows,
+        distinct_urls=max(400, args.rows // 5),
+    )
+    tables = bigdata.tables(scale, seed=args.seed)
+    expected = {sql: run_reference(parse(sql), tables) for sql in _SERVE_WORKLOAD}
+    topology = FabricTopology.two_tier(tors=args.tors, spines=args.spines)
+    fleet = FleetController(
+        tables,
+        topology=topology,
+        replicas=args.replicas,
+        quota=TenantQuota(max_share=0.5),
+        max_queue=args.max_queue,
+        verify=args.verify,
+        seed=args.seed,
+        default_timeout=args.timeout,
+    )
+    mismatches: List[str] = []
+    shed = [0]
+    lock = threading.Lock()
+
+    def tenant_loop(index: int, count: int) -> None:
+        client = ServeClient(
+            fleet, tenant=f"tenant-{index}", retries=args.retries,
+            seed=args.seed + index,
+        )
+        for i in range(count):
+            sql = _SERVE_WORKLOAD[(index + i) % len(_SERVE_WORKLOAD)]
+            try:
+                output = client.query(sql)
+            except Overloaded:
+                with lock:
+                    shed[0] += 1
+                continue
+            if output != expected[sql]:
+                with lock:
+                    mismatches.append(sql)
+
+    per_tenant = max(1, args.requests // max(1, args.tenants))
+    threads = [
+        threading.Thread(target=tenant_loop, args=(i, per_tenant), daemon=True)
+        for i in range(args.tenants)
+    ]
+    for thread in threads:
+        thread.start()
+    if args.rolling_update:
+        fleet.rolling_update()
+    for thread in threads:
+        thread.join()
+    fleet.shutdown(drain=True)
+    report = fleet.report()
+    summary = report["summary"]
+    print(topology.describe()[0])
+    print(f"fleet    : {summary['replicas']} replicas over "
+          f"{summary['switches']} switches, {args.tenants} tenants x "
+          f"{per_tenant} requests")
+    print(f"requests : {summary['requests']} submitted, "
+          f"{summary['completed']} completed, {summary['failed']} failed, "
+          f"{shed[0]} shed at the client")
+    routes = summary["routes"]
+    print(f"routing  : {routes['locality']} locality, "
+          f"{routes['spillover']} spillover, "
+          f"{routes['least-loaded']} least-loaded")
+    print(f"caches   : {summary['cache_hits']} shared result hits across "
+          f"the fleet ({summary['result_cache']['entries']} entries resident)")
+    print(f"traffic  : {summary['streamed']} streamed, "
+          f"{summary['forwarded']} forwarded "
+          f"({summary['pruning_rate']:.2%} pruned)")
+    for tenant, figures in report["latency_ms"].items():
+        print(f"latency  : {tenant:12s} n={figures['count']:<4d} "
+              f"p50={figures['p50']:.2f}ms p99={figures['p99']:.2f}ms")
+    for entry in report["replicas"]:
+        print(f"replica  : {entry['name']} on {entry['tor']} "
+              f"[{entry['state']}] v{entry['tables_version']} "
+              f"token={entry['resident_token']}")
+    print(f"fairness : {summary['starvation_events']} starvation events")
+    if args.rolling_update:
+        kept = summary.get("last_update_kept_capacity")
+        print(f"update   : rolling update completed, capacity retained: {kept}")
+    exact = not mismatches
+    print(f"results  : {'ALL EXACT' if exact else 'MISMATCH'}; "
+          f"fleet drained (occupancy={summary['occupancy']})")
+    if args.metrics_out is not None:
+        with open(args.metrics_out, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+        print(f"metrics  : written to {args.metrics_out}")
+    if args.events_out is not None:
+        count = fleet.export_events(args.events_out)
+        print(f"events   : {count} events written to {args.events_out}")
+    return 0 if exact else 1
+
+
 def _cmd_adapt(args: argparse.Namespace) -> int:
     from .adapt.scenario import drift_tables, run_scenario
     from .engine.cluster import ClusterConfig
@@ -652,6 +788,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "metrics": _cmd_metrics,
         "chaos": _cmd_chaos,
         "serve": _cmd_serve,
+        "fleet": _cmd_fleet,
         "adapt": _cmd_adapt,
         "trace": _cmd_trace,
         "health": _cmd_health,

@@ -1,0 +1,170 @@
+"""One fleet replica: a :class:`QueryService` bound to a ToR switch.
+
+A replica is the unit of replication, placement, and rolling update.
+It owns a full serving stack — admission queue, packing scheduler,
+executor pool, resident table store — configured from the ToR switch it
+is bound to (the ToR's :class:`~repro.switch.resources.ResourceModel`
+becomes the replica's compile budget, so a program that doesn't fit the
+rack's switch never runs there), and shares the fleet-wide
+:class:`~repro.serve.cache.ResultCache` with its siblings.
+
+The router reads three things off a replica: its lifecycle
+:attr:`Replica.state` (only ``ACTIVE`` replicas receive new requests),
+its :meth:`occupancy` (queued + executing — the load signal), and its
+residency (:meth:`resident_token` / :meth:`holds_resident`, the PR 9
+:class:`~repro.parallel.resident.ResidentTableStore` identity the
+locality-routing decision keys on).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+from ..engine.cluster import ClusterConfig
+from ..errors import ConfigurationError
+from ..serve.server import QueryService
+from .topology import SwitchSpec
+
+#: Replica lifecycle states.  ``ACTIVE`` receives routed requests;
+#: ``DRAINING`` finishes what it holds but gets nothing new (the rolling
+#: updater's first step); ``UPDATING`` is mid table-swap.
+ACTIVE = "active"
+DRAINING = "draining"
+UPDATING = "updating"
+
+STATES = (ACTIVE, DRAINING, UPDATING)
+
+
+class Replica:
+    """A named :class:`QueryService` bound to one ToR switch."""
+
+    def __init__(
+        self,
+        name: str,
+        tor: SwitchSpec,
+        tables,
+        *,
+        results=None,
+        quota=None,
+        fairness=None,
+        workers: int = 4,
+        worker_threads: int = 2,
+        max_queue: int = 64,
+        max_pack: int = 4,
+        parallelism: int = 1,
+        resident: bool = True,
+        verify: bool = False,
+        seed: int = 0,
+        default_timeout: Optional[float] = None,
+    ) -> None:
+        """Build the replica's service from the ToR's budget.
+
+        ``results``/``quota``/``fairness`` are the fleet-shared result
+        cache and the tenancy policies, passed straight through to the
+        underlying :class:`QueryService`.
+        """
+        if not name:
+            raise ConfigurationError("replica name must be non-empty")
+        self.name = name
+        self.tor = tor
+        self.state = ACTIVE
+        config = ClusterConfig(
+            model=tor.model,
+            resident=resident,
+            parallelism=parallelism,
+            seed=seed,
+        )
+        self.service = QueryService(
+            tables,
+            workers=workers,
+            config=config,
+            max_queue=max_queue,
+            worker_threads=worker_threads,
+            max_pack=max_pack,
+            default_timeout=default_timeout,
+            verify=verify,
+            results=results,
+            quota=quota,
+            fairness=fairness,
+        )
+        self.fairness = fairness
+
+    # -- router-facing signals -----------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        """True when the router may place new requests here."""
+        return self.state == ACTIVE
+
+    @property
+    def occupancy(self) -> int:
+        """Queued plus executing requests (the router's load signal)."""
+        return self.service.occupancy
+
+    @property
+    def tables_version(self) -> int:
+        """The replica's current table version (result-cache epoch)."""
+        return self.service.tables_version
+
+    def resident_token(self) -> Optional[str]:
+        """The replica's resident-store token (None without residency).
+
+        The token names the shared-memory epoch this replica's tables
+        are exported under — the identity locality routing advertises.
+        """
+        store = self.service.cluster.resident
+        return store.token if store is not None else None
+
+    def holds_resident(self, table_name: str) -> bool:
+        """Does this replica hold ``table_name`` resident right now?
+
+        True when the replica's resident store registers that table
+        under its current epoch (``owns`` compares table *objects*, the
+        PR 9 version fence) — the condition under which routing here
+        skips per-request export setup entirely.
+        """
+        store = self.service.cluster.resident
+        if store is None or store.retired:
+            return False
+        table = self.service.tables.get(table_name)
+        return table is not None and store.owns(table_name, table)
+
+    # -- rolling-update steps ------------------------------------------------
+
+    def drain(self, timeout: float = 30.0, poll: float = 0.002) -> bool:
+        """Wait until nothing is queued or executing here; True on success.
+
+        The caller must have stopped routing to this replica first
+        (``state = DRAINING``); this only waits for what it already
+        holds.  Admission stays open throughout — a drain for update is
+        not a shutdown.
+        """
+        deadline = time.monotonic() + timeout
+        while self.occupancy > 0:
+            if time.monotonic() >= deadline:
+                return False
+            time.sleep(poll)
+        return True
+
+    def update_tables(self, tables=None) -> int:
+        """Swap this replica's tables (version fence + residency swap)."""
+        return self.service.update_tables(tables)
+
+    def shutdown(self, drain: bool = True) -> None:
+        """Shut the replica's service down (graceful by default)."""
+        self.service.shutdown(drain=drain)
+
+    def summary(self) -> Dict[str, object]:
+        """The replica's corner of the fleet report."""
+        report_summary: Dict[str, object] = {
+            "name": self.name,
+            "tor": self.tor.name,
+            "state": self.state,
+            "tables_version": self.tables_version,
+            "occupancy": self.occupancy,
+            "resident_token": self.resident_token(),
+        }
+        if self.fairness is not None:
+            report_summary["fairness"] = self.fairness.snapshot()
+        return report_summary

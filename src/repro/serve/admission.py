@@ -8,14 +8,22 @@ allowed to sit in the queue past its deadline and then return a stale
 or partial answer.  Shedding at admission keeps the invariant the rest
 of the reproduction lives by: every answer a client receives is exact.
 
-Three shed reasons exist, each a stable machine-readable tag on the
+Four shed reasons exist, each a stable machine-readable tag on the
 raised error and a label on the ``serve_shed_total`` counter:
 
 * ``"queue-full"`` — the queue already holds ``max_depth`` requests;
 * ``"deadline"`` — the deadline already passed, or the backlog's
   estimated service time (an EWMA of recent per-query seconds, scaled
   by executor concurrency) would blow it;
+* ``"tenant-quota"`` — an optional per-tenant quota policy (see
+  :class:`~repro.fleet.tenancy.TenantQuota`) rejected the request
+  because its tenant already holds its share of the queue;
 * ``"shutting-down"`` — the service is draining and accepts no new work.
+
+Head selection is pluggable too: :meth:`AdmissionController.pop_slot`
+accepts a ``choose_head`` callback (the scheduler's weighted-fair
+policy in fleet deployments) that picks which queued request forms the
+next slot; the default is strict FIFO.
 """
 
 from __future__ import annotations
@@ -142,6 +150,7 @@ class AdmissionController:
         registry: Optional[MetricsRegistry] = None,
         concurrency: int = 1,
         events=None,
+        quota=None,
     ) -> None:
         if max_depth <= 0:
             raise ConfigurationError(
@@ -156,6 +165,11 @@ class AdmissionController:
         #: Optional :class:`~repro.obs.EventLog`: every shed also lands
         #: there as a structured ``shed`` event.
         self.events = events
+        #: Optional per-tenant quota policy: an object whose
+        #: ``check(request, queue, max_depth)`` returns a shed message
+        #: when the request's tenant is over its queue share (``None``
+        #: admits).  See :class:`~repro.fleet.tenancy.TenantQuota`.
+        self.quota = quota
         self.condition = threading.Condition()
         self.closed = False
         self._queue: Deque[Request] = deque()
@@ -178,7 +192,9 @@ class AdmissionController:
                 "Requests shed by admission control, by reason.",
                 reason=reason,
             )
-            for reason in ("queue-full", "deadline", "shutting-down")
+            for reason in (
+                "queue-full", "deadline", "tenant-quota", "shutting-down",
+            )
         }
 
     # -- client side ---------------------------------------------------------
@@ -216,6 +232,10 @@ class AdmissionController:
                         f"{wait:.4f}s exceeds the "
                         f"{max(0.0, request.deadline - now):.4f}s remaining",
                     )
+            if self.quota is not None:
+                verdict = self.quota.check(request, self._queue, self.max_depth)
+                if verdict is not None:
+                    self._shed_locked(request, "tenant-quota", verdict)
             if len(self._queue) >= self.max_depth:
                 self._shed_locked(
                     request,
@@ -231,30 +251,52 @@ class AdmissionController:
     # -- scheduler side ------------------------------------------------------
 
     def pop_slot(
-        self, plan_extras: Callable[[Request, Sequence[Request]], List[Request]]
+        self,
+        plan_extras: Callable[[Request, Sequence[Request]], List[Request]],
+        choose_head: Optional[Callable[[Sequence[Request]], int]] = None,
     ) -> List[Request]:
-        """Dequeue the head request plus scheduler-chosen companions.
+        """Dequeue the next slot head plus scheduler-chosen companions.
 
         Must be called with :attr:`condition` held.  Requests whose
         deadline expired while queued are shed (their waiters get the
         typed ``"deadline"`` error) instead of dispatched.  The
+        ``choose_head`` callback (when given) sees the live backlog and
+        returns the index of the request that forms the slot — the
+        weighted-fair hook; the default is strict FIFO (index 0).  The
         ``plan_extras`` callback sees the head and a snapshot of the
         remaining backlog and returns the companions to co-schedule;
         they are removed from the queue preserving arrival order.
         """
         now = time.monotonic()
-        while self._queue and self._queue[0].expired(now):
-            expired = self._queue.popleft()
-            self._shed_locked(
-                expired,
-                "deadline",
-                "deadline passed while the request was queued",
-                raise_error=False,
-            )
+        # Sweep expired requests from the whole backlog: with fair head
+        # selection the next head is not necessarily the oldest entry,
+        # so expiry can strike anywhere in the queue.
+        live: Deque[Request] = deque()
+        for request in self._queue:
+            if request.expired(now):
+                self._shed_locked(
+                    request,
+                    "deadline",
+                    "deadline passed while the request was queued",
+                    raise_error=False,
+                )
+            else:
+                live.append(request)
+        self._queue = live
         if not self._queue:
             self._depth_gauge.set(0)
             return []
-        head = self._queue.popleft()
+        index = 0
+        if choose_head is not None:
+            index = choose_head(tuple(self._queue))
+            if not 0 <= index < len(self._queue):
+                index = 0
+        if index:
+            self._queue.rotate(-index)
+            head = self._queue.popleft()
+            self._queue.rotate(index)
+        else:
+            head = self._queue.popleft()
         extras = plan_extras(head, tuple(self._queue))
         if extras:
             chosen = set(map(id, extras))

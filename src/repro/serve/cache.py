@@ -20,6 +20,21 @@ answer.  Outputs are frozen once on the way in (:func:`freeze_result`)
 and every hit shares the same read-only view — no per-hit copy, and a
 client attempting to mutate a cached set/list/Counter gets a
 ``TypeError`` instead of silently corrupting the cache.
+
+**Cross-replica sharing.**  One :class:`ResultCache` may back several
+fleet replicas concurrently (see :mod:`repro.fleet`).  The contract:
+
+* every mutator (``get``'s recency bump included) runs under one lock,
+  so concurrent readers from many replica executor threads see either a
+  whole entry or a miss, never a torn one;
+* frozen views are frozen *deeply* — a dict-of-lists output freezes its
+  inner lists too — so a view handed to one replica's client can never
+  mutate what another replica serves;
+* :meth:`ResultCache.evict_stale` drops entries strictly **older than**
+  the given version floor, never "different from" — during a rolling
+  update the lagging replicas' current version stays servable while the
+  already-updated replicas fill the new version's entries.  The fleet
+  controller sweeps with the minimum version still live.
 """
 
 from __future__ import annotations
@@ -65,7 +80,8 @@ class _LRU:
                 self._entries.popitem(last=False)
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def remove_where(self, predicate: Callable[[object], bool]) -> int:
         """Atomically drop every entry whose key satisfies ``predicate``.
@@ -82,7 +98,12 @@ class _LRU:
 
     def stats(self) -> Dict[str, int]:
         """Point-in-time ``{"entries", "hits", "misses"}``."""
-        return {"entries": len(self._entries), "hits": self.hits, "misses": self.misses}
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+            }
 
 
 class FrozenList(list):
@@ -119,15 +140,25 @@ def freeze_result(output: object) -> object:
     through.  Each conversion preserves equality with the mutable
     original, so callers comparing against reference outputs never
     notice the freeze.
+
+    The freeze is *deep* for the mutable containers: dict values and
+    list elements are frozen recursively.  Shallow freezing left a
+    mutation-isolation gap once one cache served several replicas — a
+    client of replica A mutating an inner list of a frozen dict view
+    would have corrupted the answer replica B serves from the same
+    entry.  Tuples pass through (immutable containers; their elements
+    were produced by the engine and are never aliased mutably).
     """
     if isinstance(output, (frozenset, MappingProxyType, FrozenList)):
         return output
     if isinstance(output, set):
         return frozenset(output)
     if isinstance(output, dict):
-        return MappingProxyType(dict(output))
+        return MappingProxyType(
+            {key: freeze_result(value) for key, value in output.items()}
+        )
     if isinstance(output, list):
-        return FrozenList(output)
+        return FrozenList(freeze_result(item) for item in output)
     return output
 
 
@@ -232,14 +263,22 @@ class ResultCache:
         )
 
     def evict_stale(self, version: int) -> int:
-        """Drop every entry cached under a version other than ``version``.
+        """Drop every entry cached under a version **older than** ``version``.
 
-        Version keying already makes stale entries unservable; this
-        sweep (the serving layer runs it on ``update_tables``) reclaims
-        their memory eagerly instead of waiting for LRU ageing.
+        Version keying already makes stale entries unservable by their
+        own replica; this sweep reclaims their memory eagerly instead of
+        waiting for LRU ageing.  The floor semantics ("strictly less
+        than", not "different from") are what make the cache safely
+        shareable across fleet replicas: during a rolling update the
+        already-updated replica sweeps with the *minimum* version still
+        live in the fleet (the controller tracks it), so a lagging
+        replica's servable entries are never yanked out from under its
+        concurrent readers.  A standalone service — whose versions only
+        ever increase — sees identical behaviour to the old "different
+        from" sweep.
         """
         return self._lru.remove_where(
-            lambda key: isinstance(key, tuple) and key[1] != version
+            lambda key: isinstance(key, tuple) and key[1] < version
         )
 
     def stats(self) -> Dict[str, int]:

@@ -64,6 +64,7 @@ class PackingScheduler:
         programs: ProgramCache,
         max_pack: int = 4,
         enable_packing: bool = True,
+        fairness=None,
     ) -> None:
         if max_pack < 1:
             raise ConfigurationError(f"max_pack must be >= 1, got {max_pack}")
@@ -71,6 +72,24 @@ class PackingScheduler:
         self.programs = programs
         self.max_pack = max_pack
         self.enable_packing = enable_packing
+        #: Optional weighted-fair head-selection policy: an object whose
+        #: ``select(queued)`` returns the index of the request that
+        #: should form the next slot (see
+        #: :class:`~repro.fleet.tenancy.WeightedFairPolicy`).  ``None``
+        #: keeps strict FIFO formation.
+        self.fairness = fairness
+
+    def choose_head(self, queued: Sequence[Request]) -> int:
+        """Index of the queued request that forms the next slot.
+
+        The admission controller calls this (with its lock held) before
+        popping a slot: strict FIFO without a fairness policy, else the
+        policy's weighted-fair choice — which is what keeps one flooding
+        tenant from starving the others out of slot formation.
+        """
+        if self.fairness is None or not queued:
+            return 0
+        return self.fairness.select(queued)
 
     def packable(self, query: Query) -> bool:
         """True when ``query`` may join a packed slot at all.

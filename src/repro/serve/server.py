@@ -93,6 +93,9 @@ class QueryService:
         adapt: bool = False,
         adapt_interval: float = 0.25,
         adapt_options: Optional[dict] = None,
+        results: Optional[ResultCache] = None,
+        quota=None,
+        fairness=None,
     ) -> None:
         if worker_threads <= 0:
             raise ConfigurationError(
@@ -111,18 +114,27 @@ class QueryService:
         self.trace_requests = trace_requests
         self.default_timeout = default_timeout
         self.programs = ProgramCache()
-        self.results = ResultCache()
+        # ``results`` may be a cache shared across fleet replicas (all
+        # keyed by (cache_key, tables_version), so replicas at different
+        # versions mid-rolling-update can never serve each other's stale
+        # answers).  A shared cache is never eagerly swept by this
+        # service's ``update_tables`` — the fleet controller owns the
+        # floor sweep once every replica has crossed the version.
+        self.results = results if results is not None else ResultCache()
+        self._owns_results = results is None
         self.admission = AdmissionController(
             max_queue,
             registry=self.registry,
             concurrency=worker_threads,
             events=self.events,
+            quota=quota,
         )
         self.scheduler = PackingScheduler(
             self.cluster,
             self.programs,
             max_pack=max_pack,
             enable_packing=enable_packing,
+            fairness=fairness,
         )
         self._tables: Dict[str, object] = dict(tables)
         self._tables_version = 0
@@ -325,7 +337,12 @@ class QueryService:
         # shard plans for the old table objects are swept eagerly too.
         from ..parallel.shard import invalidate_shard_plans
 
-        stale_results = self.results.evict_stale(version)
+        # A privately-owned cache is swept eagerly; a fleet-shared one is
+        # left to the controller, which sweeps at the minimum version
+        # still live across replicas once the rolling update completes.
+        stale_results = (
+            self.results.evict_stale(version) if self._owns_results else 0
+        )
         dropped_plans = invalidate_shard_plans()
         self.cluster.ensure_resident(tables_snapshot, version)
         self.events.emit(
@@ -343,6 +360,36 @@ class QueryService:
     def tables_version(self) -> int:
         """The current table version (result-cache epoch)."""
         return self._tables_version
+
+    @property
+    def tables(self) -> TableMap:
+        """The currently served table map (treat as read-only)."""
+        return self._tables
+
+    @property
+    def inflight(self) -> int:
+        """Requests currently executing in a slot (point-in-time)."""
+        return self._inflight
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests waiting for a pipeline slot (point-in-time)."""
+        return self.admission.depth
+
+    @property
+    def occupancy(self) -> int:
+        """Queued plus executing requests — the router's load signal."""
+        return self.admission.depth + self._inflight
+
+    def latency_histograms(self) -> Dict[str, object]:
+        """A snapshot of the per-tenant latency histograms.
+
+        The fleet controller merges these bucket-by-bucket across
+        replicas to report fleet-wide per-tenant quantiles (quantiles of
+        merged histograms are well-defined; merged quantiles are not).
+        """
+        with self._metrics_lock:
+            return dict(self._latency)
 
     # -- adaptive runtime ----------------------------------------------------
 
@@ -481,7 +528,8 @@ class QueryService:
                 batch = admission.pop_slot(
                     lambda head, queued: self.scheduler.plan_extras(
                         head, queued, tables
-                    )
+                    ),
+                    choose_head=self.scheduler.choose_head,
                 )
             if not batch:
                 continue
